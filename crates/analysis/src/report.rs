@@ -1,0 +1,174 @@
+//! Text/markdown/CSV tables for benchmark reports.
+
+use serde::{Deserialize, Serialize};
+
+/// A simple rectangular table with a header row.
+///
+/// The benchmark binaries print every paper table and figure as one of these,
+/// so that the output is directly pasteable into `EXPERIMENTS.md`.
+///
+/// # Example
+///
+/// ```
+/// use gossip_analysis::Table;
+///
+/// let mut table = Table::new(vec!["selector", "rate"]);
+/// table.add_row(vec!["getPair_pm".into(), "0.250".into()]);
+/// table.add_row(vec!["getPair_rand".into(), "0.368".into()]);
+/// let text = table.to_aligned_text();
+/// assert!(text.contains("getPair_pm"));
+/// assert_eq!(table.to_csv().lines().count(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: Vec<&str>) -> Self {
+        Table {
+            headers: headers.into_iter().map(String::from).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row. Rows shorter than the header are padded with empty
+    /// cells; longer rows are truncated, so the table always stays
+    /// rectangular.
+    pub fn add_row(&mut self, row: Vec<String>) {
+        let mut row = row;
+        row.resize(self.headers.len(), String::new());
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Returns `true` when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table as GitHub-flavoured markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("| {} |\n", self.headers.join(" | ")));
+        out.push_str(&format!(
+            "|{}\n",
+            self.headers.iter().map(|_| "---|").collect::<String>()
+        ));
+        for row in &self.rows {
+            out.push_str(&format!("| {} |\n", row.join(" | ")));
+        }
+        out
+    }
+
+    /// Renders the table as column-aligned plain text.
+    pub fn to_aligned_text(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let render_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:<width$}", c, width = widths[i] + 2))
+                .collect::<String>()
+                .trim_end()
+                .to_string()
+        };
+        let mut out = render_row(&self.headers);
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().map(|w| w + 2).sum::<usize>().saturating_sub(2)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&render_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the table as CSV (headers + rows). Cells containing commas are
+    /// quoted.
+    pub fn to_csv(&self) -> String {
+        let quote = |cell: &str| -> String {
+            if cell.contains(',') || cell.contains('"') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| quote(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new(vec!["selector", "measured", "paper"]);
+        t.add_row(vec!["getPair_pm".into(), "0.2498".into(), "0.25".into()]);
+        t.add_row(vec!["getPair_rand".into(), "0.3702".into(), "0.3679".into()]);
+        t
+    }
+
+    #[test]
+    fn rows_are_normalised_to_header_width() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.add_row(vec!["1".into()]);
+        t.add_row(vec!["1".into(), "2".into(), "3".into()]);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        for line in t.to_csv().lines().skip(1) {
+            assert_eq!(line.split(',').count(), 2);
+        }
+    }
+
+    #[test]
+    fn markdown_rendering() {
+        let md = sample().to_markdown();
+        assert!(md.starts_with("| selector | measured | paper |"));
+        assert!(md.contains("|---|---|---|"));
+        assert!(md.contains("| getPair_rand | 0.3702 | 0.3679 |"));
+        assert_eq!(md.lines().count(), 4);
+    }
+
+    #[test]
+    fn aligned_text_rendering() {
+        let text = sample().to_aligned_text();
+        assert!(text.contains("selector"));
+        assert!(text.lines().count() >= 4);
+        // Columns aligned: every data line starts with the selector name.
+        assert!(text.lines().nth(2).unwrap().starts_with("getPair_pm"));
+    }
+
+    #[test]
+    fn csv_rendering_quotes_commas() {
+        let mut t = Table::new(vec!["name", "value"]);
+        t.add_row(vec!["a,b".into(), "1".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"a,b\",1"));
+    }
+}

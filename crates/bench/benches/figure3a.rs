@@ -1,0 +1,86 @@
+//! E2 — Figure 3(a): average variance reduction after one execution of AVG
+//! (σ²₁/σ²₀) as a function of network size, for getPair_rand and getPair_seq
+//! on the complete and the 20-regular random topologies.
+
+use aggregate_core::{theory, SelectorKind};
+use gossip_analysis::{Series, Table};
+use gossip_bench::{env_u64, env_usize, print_header};
+use gossip_sim::runner::VarianceExperiment;
+use overlay_topology::TopologyKind;
+
+fn main() {
+    let runs = env_usize("GOSSIP_BENCH_RUNS", 20);
+    let max_n = env_usize("GOSSIP_FIG3A_MAX_NODES", 100_000);
+    let seed = env_u64("GOSSIP_BENCH_SEED", 20040102);
+
+    print_header(
+        "figure3a",
+        "Figure 3(a)",
+        &format!(
+            "Variance reduction after one execution of AVG vs network size \
+             ({runs} runs per point; the paper uses 50). Dotted reference lines: \
+             1/e = {:.3} (rand) and 1/(2*sqrt(e)) = {:.3} (seq).",
+            theory::rand_rate(),
+            theory::seq_rate()
+        ),
+    );
+
+    let sizes: Vec<usize> = [100usize, 1_000, 10_000, 100_000]
+        .into_iter()
+        .filter(|&n| n <= max_n)
+        .collect();
+    let configurations = [
+        (SelectorKind::RandomEdge, TopologyKind::Complete, "getPair_rand, complete"),
+        (
+            SelectorKind::RandomEdge,
+            TopologyKind::RandomRegular { degree: 20 },
+            "getPair_rand, 20-reg. random",
+        ),
+        (SelectorKind::Sequential, TopologyKind::Complete, "getPair_seq, complete"),
+        (
+            SelectorKind::Sequential,
+            TopologyKind::RandomRegular { degree: 20 },
+            "getPair_seq, 20-reg. random",
+        ),
+    ];
+
+    let mut table = Table::new(vec![
+        "network size",
+        "series",
+        "variance reduction (mean)",
+        "std dev",
+        "theoretical",
+    ]);
+    let mut blocks = Vec::new();
+
+    for (selector, topology, label) in configurations {
+        let mut series = Series::new(label);
+        for &n in &sizes {
+            let experiment =
+                VarianceExperiment::figure3(n, topology, selector, 1, runs, seed ^ n as u64);
+            let summary = experiment
+                .run_first_cycle()
+                .expect("experiment configuration is valid");
+            series.push_with_range(
+                n as f64,
+                summary.mean,
+                summary.mean - summary.std_dev,
+                summary.mean + summary.std_dev,
+            );
+            table.add_row(vec![
+                n.to_string(),
+                label.to_string(),
+                format!("{:.4}", summary.mean),
+                format!("{:.4}", summary.std_dev),
+                format!("{:.4}", selector.theoretical_rate()),
+            ]);
+        }
+        blocks.push(series.to_data_block());
+    }
+
+    println!("{}", table.to_aligned_text());
+    println!("gnuplot-ready series (x = network size, y = sigma1^2/sigma0^2):\n");
+    for block in blocks {
+        println!("{block}");
+    }
+}

@@ -1,0 +1,79 @@
+//! E3 — Figure 3(b): average variance reduction (σ²ᵢ/σ²ᵢ₋₁) for every cycle
+//! while iterating AVG on a network of 100 000 nodes, for getPair_rand and
+//! getPair_seq on the complete and 20-regular random topologies.
+
+use aggregate_core::{theory, SelectorKind};
+use gossip_analysis::{Series, Table};
+use gossip_bench::{env_u64, env_usize, print_header};
+use gossip_sim::runner::VarianceExperiment;
+use overlay_topology::TopologyKind;
+
+fn main() {
+    let runs = env_usize("GOSSIP_FIG3B_RUNS", 5);
+    let nodes = env_usize("GOSSIP_FIG3B_NODES", 100_000);
+    let cycles = env_usize("GOSSIP_FIG3B_CYCLES", 30);
+    let seed = env_u64("GOSSIP_BENCH_SEED", 20040102);
+
+    print_header(
+        "figure3b",
+        "Figure 3(b)",
+        &format!(
+            "Per-cycle variance reduction while iterating AVG, N = {nodes}, cycles 1..{cycles}, \
+             {runs} runs per curve (the paper uses 50). Reference lines: 1/e = {:.3}, \
+             1/(2*sqrt(e)) = {:.3}.",
+            theory::rand_rate(),
+            theory::seq_rate()
+        ),
+    );
+
+    let configurations = [
+        (SelectorKind::RandomEdge, TopologyKind::Complete, "getPair_rand, complete"),
+        (
+            SelectorKind::RandomEdge,
+            TopologyKind::RandomRegular { degree: 20 },
+            "getPair_rand, 20-reg. random",
+        ),
+        (SelectorKind::Sequential, TopologyKind::Complete, "getPair_seq, complete"),
+        (
+            SelectorKind::Sequential,
+            TopologyKind::RandomRegular { degree: 20 },
+            "getPair_seq, 20-reg. random",
+        ),
+    ];
+
+    let mut table = Table::new(vec!["cycle", "series", "variance reduction", "std dev"]);
+    let mut blocks = Vec::new();
+
+    for (selector, topology, label) in configurations {
+        let experiment = VarianceExperiment::figure3(
+            nodes,
+            topology,
+            selector,
+            cycles,
+            runs,
+            seed ^ label.len() as u64,
+        );
+        let summaries = experiment.run().expect("experiment configuration is valid");
+        let mut series = Series::new(label);
+        for (cycle, summary) in summaries.iter().enumerate() {
+            series.push_with_range((cycle + 1) as f64, summary.mean, summary.min, summary.max);
+            // Print every 5th cycle in the table to keep it readable; the full
+            // series is emitted below.
+            if (cycle + 1) % 5 == 0 {
+                table.add_row(vec![
+                    (cycle + 1).to_string(),
+                    label.to_string(),
+                    format!("{:.4}", summary.mean),
+                    format!("{:.4}", summary.std_dev),
+                ]);
+            }
+        }
+        blocks.push(series.to_data_block());
+    }
+
+    println!("{}", table.to_aligned_text());
+    println!("gnuplot-ready series (x = cycle, y = sigma_i^2/sigma_(i-1)^2):\n");
+    for block in blocks {
+        println!("{block}");
+    }
+}

@@ -1,0 +1,91 @@
+//! E4 — Figure 4: network size estimation by anti-entropy counting under
+//! churn (oscillating size plus per-cycle fluctuation), epochs of 30 cycles.
+
+use gossip_analysis::{Series, Table};
+use gossip_bench::{env_u64, env_usize, print_header};
+use gossip_sim::runner::SizeEstimationScenario;
+use gossip_sim::ChurnSchedule;
+
+fn main() {
+    let base_nodes = env_usize("GOSSIP_FIG4_NODES", 20_000);
+    let cycles = env_usize("GOSSIP_FIG4_CYCLES", 600);
+    let seed = env_u64("GOSSIP_BENCH_SEED", 20040102);
+
+    print_header(
+        "figure4",
+        "Figure 4",
+        &format!(
+            "Network size estimation by anti-entropy counting. Base size {base_nodes} \
+             (paper: 100000), oscillation ±10% over 500 cycles, 0.1% per-cycle fluctuation, \
+             epochs of 30 cycles, {cycles} cycles total (paper: 1000). Set \
+             GOSSIP_FIG4_NODES=100000 GOSSIP_FIG4_CYCLES=1000 for the full-scale run."
+        ),
+    );
+
+    let scenario = if base_nodes == 100_000 {
+        SizeEstimationScenario {
+            churn: ChurnSchedule::figure4(),
+            total_cycles: cycles,
+            ..SizeEstimationScenario::figure4(seed)
+        }
+    } else {
+        SizeEstimationScenario::figure4_scaled(base_nodes, cycles, seed)
+    };
+
+    let points = scenario.run().expect("scenario configuration is valid");
+
+    let mut table = Table::new(vec![
+        "cycle",
+        "epoch",
+        "actual size",
+        "estimate (mean)",
+        "estimate (min)",
+        "estimate (max)",
+        "reporting nodes",
+        "relative error",
+    ]);
+    let mut estimate_series = Series::new("size estimate");
+    let mut actual_series = Series::new("actual size of the network");
+
+    for point in &points {
+        let relative_error =
+            (point.estimate_mean - point.actual_size as f64).abs() / point.actual_size as f64;
+        table.add_row(vec![
+            point.cycle.to_string(),
+            point.epoch.to_string(),
+            point.actual_size.to_string(),
+            format!("{:.0}", point.estimate_mean),
+            format!("{:.0}", point.estimate_min),
+            format!("{:.0}", point.estimate_max),
+            point.reporting_nodes.to_string(),
+            format!("{:.2}%", relative_error * 100.0),
+        ]);
+        estimate_series.push_with_range(
+            point.cycle as f64,
+            point.estimate_mean,
+            point.estimate_min,
+            point.estimate_max,
+        );
+        actual_series.push(point.cycle as f64, point.actual_size as f64);
+    }
+
+    println!("{}", table.to_aligned_text());
+    println!("gnuplot-ready series (x = cycle, y = network size, error bars = node range):\n");
+    println!("{}", estimate_series.to_data_block());
+    println!("{}", actual_series.to_data_block());
+
+    // Headline numbers: tracking error after the bootstrap epoch.
+    let tracked: Vec<f64> = points
+        .iter()
+        .skip(1)
+        .map(|p| (p.estimate_mean - p.actual_size as f64).abs() / p.actual_size as f64)
+        .collect();
+    if !tracked.is_empty() {
+        let mean_err = tracked.iter().sum::<f64>() / tracked.len() as f64;
+        println!(
+            "mean relative tracking error after the first epoch: {:.2}% over {} epochs",
+            mean_err * 100.0,
+            tracked.len()
+        );
+    }
+}

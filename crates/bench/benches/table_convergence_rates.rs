@@ -1,0 +1,63 @@
+//! E1 — the convergence-rate "table" of Section 3.3: per-cycle variance
+//! reduction of every GETPAIR implementation vs the paper's closed forms
+//! (1/4, 1/e, 1/(2√e)).
+
+use aggregate_core::{theory, SelectorKind};
+use gossip_analysis::Table;
+use gossip_bench::{env_u64, env_usize, print_header};
+use gossip_sim::runner::VarianceExperiment;
+use overlay_topology::TopologyKind;
+
+fn main() {
+    let runs = env_usize("GOSSIP_BENCH_RUNS", 20);
+    let nodes = env_usize("GOSSIP_TABLE_NODES", 20_000);
+    let seed = env_u64("GOSSIP_BENCH_SEED", 20040102);
+
+    print_header(
+        "table_convergence_rates",
+        "Section 3.3 convergence rates (E1)",
+        &format!(
+            "One cycle of AVG on {nodes} uncorrelated uniform values, complete topology, \
+             {runs} runs per selector; empirical reduction factor vs closed form."
+        ),
+    );
+
+    let mut table = Table::new(vec![
+        "selector",
+        "measured E(sigma1^2/sigma0^2)",
+        "std dev",
+        "paper closed form",
+        "relative error",
+    ]);
+
+    for selector in SelectorKind::all() {
+        let experiment = VarianceExperiment::figure3(
+            nodes,
+            TopologyKind::Complete,
+            selector,
+            1,
+            runs,
+            seed ^ selector.paper_name().len() as u64,
+        );
+        let summary = experiment
+            .run_first_cycle()
+            .expect("experiment configuration is valid");
+        let predicted = selector.theoretical_rate();
+        let relative = (summary.mean - predicted).abs() / predicted;
+        table.add_row(vec![
+            selector.paper_name().to_string(),
+            format!("{:.4}", summary.mean),
+            format!("{:.4}", summary.std_dev),
+            format!("{predicted:.4}"),
+            format!("{:.2}%", relative * 100.0),
+        ]);
+    }
+
+    println!("{}", table.to_aligned_text());
+    println!(
+        "reference constants: 1/4 = {:.4}, 1/e = {:.4}, 1/(2*sqrt(e)) = {:.4}",
+        theory::PM_RATE,
+        theory::rand_rate(),
+        theory::seq_rate()
+    );
+}

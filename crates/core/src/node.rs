@@ -1,0 +1,519 @@
+//! Per-node protocol driver: epochs, instances and message handling combined.
+//!
+//! [`ProtocolNode`] glues together the pieces defined elsewhere in this crate —
+//! [`AggregationInstance`](crate::protocol::AggregationInstance) state
+//! machines, the [`EpochManager`](crate::epoch::EpochManager) and the
+//! [`ProtocolConfig`](crate::config::ProtocolConfig) — into the object a
+//! runtime (simulator or live transport) drives:
+//!
+//! 1. once per cycle the runtime picks a peer and calls
+//!    [`ProtocolNode::begin_exchange`], sending the returned messages;
+//! 2. every received message goes through [`ProtocolNode::handle_message`],
+//!    and any returned reply is sent back;
+//! 3. at the end of each cycle the runtime calls [`ProtocolNode::end_cycle`],
+//!    which advances the epoch machinery and reports converged epoch results.
+
+use crate::config::{LateJoinPolicy, ProtocolConfig};
+use crate::epoch::{EpochManager, EpochTransition};
+use crate::protocol::{AggregationInstance, GossipMessage, InstanceTag};
+use overlay_topology::NodeId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Converged result of one finished epoch on one node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EpochResult {
+    /// The epoch that finished.
+    pub epoch: u64,
+    /// Estimates of every instance that was live during the epoch, keyed by
+    /// instance tag, already passed through the aggregate's estimate
+    /// transform.
+    pub estimates: Vec<(InstanceTag, f64)>,
+    /// Whether this node participated in the epoch from its first cycle; only
+    /// then is the estimate a converged, trustworthy value.
+    pub full_participation: bool,
+}
+
+impl EpochResult {
+    /// The estimate of the default instance, if it was live.
+    pub fn default_estimate(&self) -> Option<f64> {
+        self.estimates
+            .iter()
+            .find(|(tag, _)| *tag == InstanceTag::DEFAULT)
+            .map(|(_, v)| *v)
+    }
+}
+
+/// The complete protocol state of one node.
+///
+/// # Example
+///
+/// A miniature two-node network driven by hand:
+///
+/// ```
+/// use aggregate_core::node::ProtocolNode;
+/// use aggregate_core::config::ProtocolConfig;
+/// use overlay_topology::NodeId;
+///
+/// let config = ProtocolConfig::default();
+/// let mut a = ProtocolNode::new(NodeId::new(0), config, 10.0);
+/// let mut b = ProtocolNode::new(NodeId::new(1), config, 20.0);
+///
+/// // One push–pull exchange initiated by a towards b.
+/// for push in a.begin_exchange(NodeId::new(1)) {
+///     if let Some(reply) = b.handle_message(push) {
+///         a.handle_message(reply);
+///     }
+/// }
+/// assert_eq!(a.estimate(), Some(15.0));
+/// assert_eq!(b.estimate(), Some(15.0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProtocolNode {
+    id: NodeId,
+    config: ProtocolConfig,
+    epochs: EpochManager,
+    local_value: f64,
+    instances: BTreeMap<InstanceTag, AggregationInstance>,
+}
+
+impl ProtocolNode {
+    /// Creates a node present from the start of epoch 0, with the given local
+    /// attribute value.
+    pub fn new(id: NodeId, config: ProtocolConfig, local_value: f64) -> Self {
+        let mut instances = BTreeMap::new();
+        instances.insert(
+            InstanceTag::DEFAULT,
+            AggregationInstance::new(config.aggregate(), local_value, 0),
+        );
+        ProtocolNode {
+            id,
+            config,
+            epochs: EpochManager::new(config.cycles_per_epoch(), 0),
+            local_value,
+            instances,
+        }
+    }
+
+    /// Creates a node that joins a running network: it was told by its contact
+    /// that the next epoch is `next_epoch` and starts in `cycles_until_start`
+    /// cycles, and stays passive until then (Section 4's join protocol).
+    pub fn joining(
+        id: NodeId,
+        config: ProtocolConfig,
+        local_value: f64,
+        next_epoch: u64,
+        cycles_until_start: u32,
+    ) -> Self {
+        let mut instances = BTreeMap::new();
+        instances.insert(
+            InstanceTag::DEFAULT,
+            AggregationInstance::new(config.aggregate(), local_value, next_epoch),
+        );
+        ProtocolNode {
+            id,
+            config,
+            epochs: EpochManager::joining(
+                config.cycles_per_epoch(),
+                next_epoch,
+                cycles_until_start,
+            ),
+            local_value,
+            instances,
+        }
+    }
+
+    /// This node's identifier.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The protocol configuration.
+    pub fn config(&self) -> &ProtocolConfig {
+        &self.config
+    }
+
+    /// The node's local attribute value `a_i`.
+    pub fn local_value(&self) -> f64 {
+        self.local_value
+    }
+
+    /// Updates the node's local attribute value. Running estimates are not
+    /// touched; the new value is picked up at the next epoch restart, which is
+    /// how the protocol adapts to changing inputs.
+    pub fn set_local_value(&mut self, value: f64) {
+        self.local_value = value;
+        for instance in self.instances.values_mut() {
+            instance.set_local_value(value);
+        }
+    }
+
+    /// Current estimate of the default aggregation instance.
+    pub fn estimate(&self) -> Option<f64> {
+        self.instances
+            .get(&InstanceTag::DEFAULT)
+            .map(|i| i.estimate())
+    }
+
+    /// Estimate of an arbitrary instance.
+    pub fn instance_estimate(&self, tag: InstanceTag) -> Option<f64> {
+        self.instances.get(&tag).map(|i| i.estimate())
+    }
+
+    /// Read access to a specific instance.
+    pub fn instance(&self, tag: InstanceTag) -> Option<&AggregationInstance> {
+        self.instances.get(&tag)
+    }
+
+    /// Iterates over all live instances.
+    pub fn instances(&self) -> impl Iterator<Item = (&InstanceTag, &AggregationInstance)> {
+        self.instances.iter()
+    }
+
+    /// The epoch this node is currently executing.
+    pub fn current_epoch(&self) -> u64 {
+        self.epochs.current_epoch()
+    }
+
+    /// Whether the node may actively initiate exchanges (joining nodes are
+    /// passive until their first epoch starts).
+    pub fn can_participate(&self) -> bool {
+        self.epochs.can_participate()
+    }
+
+    /// Whether the node has participated in the current epoch since its first
+    /// cycle.
+    pub fn participated_from_epoch_start(&self) -> bool {
+        self.epochs.participated_from_epoch_start()
+    }
+
+    /// Starts (or restarts) an extra aggregation instance led by this node,
+    /// seeded with an explicit initial state. The network-size estimator uses
+    /// this with state `1.0` on the elected leader.
+    pub fn start_led_instance(&mut self, tag: InstanceTag, initial_state: f64) {
+        self.instances.insert(
+            tag,
+            AggregationInstance::with_initial_state(
+                self.config.aggregate(),
+                self.local_value,
+                initial_state,
+                self.epochs.current_epoch(),
+            ),
+        );
+    }
+
+    /// Active half of the protocol (Figure 1's "active process"): produces the
+    /// push messages for one exchange with `peer`, one per live instance.
+    ///
+    /// Returns an empty vector when the node is not yet allowed to
+    /// participate.
+    pub fn begin_exchange(&mut self, peer: NodeId) -> Vec<GossipMessage> {
+        if !self.epochs.can_participate() || peer == self.id {
+            return Vec::new();
+        }
+        let epoch = self.epochs.current_epoch();
+        self.instances
+            .iter()
+            .map(|(tag, instance)| GossipMessage::Push {
+                from: self.id,
+                to: peer,
+                instance: *tag,
+                epoch,
+                value: instance.initiate(),
+            })
+            .collect()
+    }
+
+    /// Handles an incoming message, returning the reply to send (for pushes)
+    /// or `None` (for replies and ignored messages).
+    ///
+    /// Stale messages (older epoch) are dropped; messages from a newer epoch
+    /// first trigger the epoch jump (restarting all instances) and are then
+    /// processed inside the new epoch.
+    pub fn handle_message(&mut self, message: GossipMessage) -> Option<GossipMessage> {
+        let epoch = message.epoch();
+        if self.epochs.is_stale(epoch) {
+            return None;
+        }
+        if let EpochTransition::Jumped { to, .. } = self.epochs.observe_remote_epoch(epoch) {
+            self.restart_instances(to);
+        }
+
+        match message {
+            GossipMessage::Push {
+                from,
+                instance: tag,
+                epoch,
+                value,
+                ..
+            } => {
+                let late_join = self.config.late_join();
+                let local_value = self.local_value;
+                let aggregate = self.config.aggregate();
+                let current_epoch = self.epochs.current_epoch();
+                let instance = self.instances.entry(tag).or_insert_with(|| match late_join {
+                    LateJoinPolicy::LocalValue => {
+                        AggregationInstance::new(aggregate, local_value, current_epoch)
+                    }
+                    LateJoinPolicy::FixedState(state) => AggregationInstance::with_initial_state(
+                        aggregate,
+                        local_value,
+                        state,
+                        current_epoch,
+                    ),
+                });
+                let reply_value = instance.absorb_push(value);
+                Some(GossipMessage::Reply {
+                    from: self.id,
+                    to: from,
+                    instance: tag,
+                    epoch,
+                    value: reply_value,
+                })
+            }
+            GossipMessage::Reply {
+                instance: tag,
+                value,
+                ..
+            } => {
+                if let Some(instance) = self.instances.get_mut(&tag) {
+                    instance.absorb_reply(value);
+                }
+                None
+            }
+        }
+    }
+
+    /// Marks the end of one protocol cycle. When this completes an epoch the
+    /// converged [`EpochResult`] is returned and all instances restart for the
+    /// new epoch (extra led instances are dropped — their leaders re-elect
+    /// themselves at the start of the next epoch if required).
+    pub fn end_cycle(&mut self) -> Option<EpochResult> {
+        let full_participation = self.epochs.participated_from_epoch_start();
+        match self.epochs.tick_cycle() {
+            EpochTransition::Completed {
+                finished, current, ..
+            } => {
+                let estimates = self
+                    .instances
+                    .iter()
+                    .map(|(tag, inst)| (*tag, inst.estimate()))
+                    .collect();
+                self.restart_instances(current);
+                Some(EpochResult {
+                    epoch: finished,
+                    estimates,
+                    full_participation,
+                })
+            }
+            _ => None,
+        }
+    }
+
+    /// Restarts the default instance for `epoch` and drops all extra led
+    /// instances (they are per-epoch by construction).
+    fn restart_instances(&mut self, epoch: u64) {
+        self.instances.retain(|tag, _| *tag == InstanceTag::DEFAULT);
+        if let Some(instance) = self.instances.get_mut(&InstanceTag::DEFAULT) {
+            instance.set_local_value(self.local_value);
+            instance.restart(epoch);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::AggregateKind;
+
+    fn config_with_epoch(cycles: u32) -> ProtocolConfig {
+        ProtocolConfig::builder()
+            .cycles_per_epoch(cycles)
+            .build()
+            .unwrap()
+    }
+
+    fn exchange(a: &mut ProtocolNode, b: &mut ProtocolNode) {
+        for push in a.begin_exchange(b.id()) {
+            if let Some(reply) = b.handle_message(push) {
+                a.handle_message(reply);
+            }
+        }
+    }
+
+    #[test]
+    fn exchange_averages_both_nodes() {
+        let config = ProtocolConfig::default();
+        let mut a = ProtocolNode::new(NodeId::new(0), config, 0.0);
+        let mut b = ProtocolNode::new(NodeId::new(1), config, 8.0);
+        exchange(&mut a, &mut b);
+        assert_eq!(a.estimate(), Some(4.0));
+        assert_eq!(b.estimate(), Some(4.0));
+    }
+
+    #[test]
+    fn self_exchange_is_a_no_op() {
+        let config = ProtocolConfig::default();
+        let mut a = ProtocolNode::new(NodeId::new(0), config, 5.0);
+        assert!(a.begin_exchange(NodeId::new(0)).is_empty());
+    }
+
+    #[test]
+    fn stale_epoch_messages_are_dropped() {
+        let config = config_with_epoch(1);
+        let mut a = ProtocolNode::new(NodeId::new(0), config, 1.0);
+        let mut b = ProtocolNode::new(NodeId::new(1), config, 3.0);
+        // Finish an epoch on b so that it is in epoch 1 while a's messages are
+        // still tagged with epoch 0.
+        b.end_cycle();
+        assert_eq!(b.current_epoch(), 1);
+        let pushes = a.begin_exchange(b.id());
+        assert_eq!(pushes.len(), 1);
+        assert!(b.handle_message(pushes[0]).is_none());
+        // b's estimate is untouched.
+        assert_eq!(b.estimate(), Some(3.0));
+    }
+
+    #[test]
+    fn newer_epoch_messages_trigger_a_jump_and_restart() {
+        let config = config_with_epoch(2);
+        let mut a = ProtocolNode::new(NodeId::new(0), config, 1.0);
+        let mut b = ProtocolNode::new(NodeId::new(1), config, 3.0);
+        // Drag a's estimate away from its local value within epoch 0.
+        exchange(&mut a, &mut b);
+        assert_eq!(a.estimate(), Some(2.0));
+        // Advance b to epoch 1.
+        b.end_cycle();
+        b.end_cycle();
+        assert_eq!(b.current_epoch(), 1);
+        // b initiates towards a; a must jump to epoch 1, restart from its
+        // local value and then absorb the push.
+        exchange(&mut b, &mut a);
+        assert_eq!(a.current_epoch(), 1);
+        assert!(!a.participated_from_epoch_start());
+        // After restart a's state was 1.0 (its local value), b pushed 3.0.
+        assert_eq!(a.estimate(), Some(2.0));
+        assert_eq!(b.estimate(), Some(2.0));
+    }
+
+    #[test]
+    fn end_cycle_reports_the_converged_epoch_result() {
+        let config = config_with_epoch(2);
+        let mut a = ProtocolNode::new(NodeId::new(0), config, 10.0);
+        let mut b = ProtocolNode::new(NodeId::new(1), config, 20.0);
+        exchange(&mut a, &mut b);
+        assert!(a.end_cycle().is_none());
+        exchange(&mut a, &mut b);
+        let result = a.end_cycle().expect("second cycle completes the epoch");
+        assert_eq!(result.epoch, 0);
+        assert!(result.full_participation);
+        assert_eq!(result.default_estimate(), Some(15.0));
+        // After the epoch the default instance restarts from the local value.
+        assert_eq!(a.estimate(), Some(10.0));
+        assert_eq!(a.current_epoch(), 1);
+    }
+
+    #[test]
+    fn local_value_changes_take_effect_at_the_next_epoch() {
+        let config = config_with_epoch(1);
+        let mut a = ProtocolNode::new(NodeId::new(0), config, 10.0);
+        a.set_local_value(99.0);
+        assert_eq!(a.estimate(), Some(10.0), "running estimate is untouched");
+        a.end_cycle();
+        assert_eq!(a.estimate(), Some(99.0), "restart picks up the new value");
+        assert_eq!(a.local_value(), 99.0);
+    }
+
+    #[test]
+    fn joining_node_stays_passive_and_ignores_the_running_epoch() {
+        let config = config_with_epoch(5);
+        let mut veteran = ProtocolNode::new(NodeId::new(0), config, 4.0);
+        let mut newcomer = ProtocolNode::joining(NodeId::new(1), config, 100.0, 1, 3);
+        assert!(!newcomer.can_participate());
+        assert!(newcomer.begin_exchange(veteran.id()).is_empty());
+        // Pushes from the running epoch 0 are stale for the newcomer.
+        let pushes = veteran.begin_exchange(newcomer.id());
+        assert!(newcomer.handle_message(pushes[0]).is_none());
+        assert_eq!(newcomer.estimate(), Some(100.0));
+        // A message tagged with the awaited epoch activates it.
+        let mut future_peer = ProtocolNode::new(NodeId::new(2), config, 8.0);
+        for _ in 0..5 {
+            future_peer.end_cycle();
+        }
+        assert_eq!(future_peer.current_epoch(), 1);
+        let pushes = future_peer.begin_exchange(newcomer.id());
+        assert!(newcomer.handle_message(pushes[0]).is_some());
+        assert!(newcomer.can_participate());
+        assert_eq!(newcomer.estimate(), Some(54.0)); // (100 + 8) / 2
+    }
+
+    #[test]
+    fn led_instances_are_gossiped_and_dropped_at_epoch_end() {
+        let config = ProtocolConfig::builder()
+            .cycles_per_epoch(2)
+            .late_join(LateJoinPolicy::FixedState(0.0))
+            .build()
+            .unwrap();
+        let mut leader = ProtocolNode::new(NodeId::new(0), config, 0.0);
+        let mut other = ProtocolNode::new(NodeId::new(1), config, 0.0);
+        let tag = InstanceTag::from_leader(leader.id());
+        leader.start_led_instance(tag, 1.0);
+        assert_eq!(leader.instance_estimate(tag), Some(1.0));
+
+        exchange(&mut leader, &mut other);
+        // The other node late-joined the led instance with state 0, so both
+        // now hold 0.5 — the converged value for N = 2 would be 1/2.
+        assert_eq!(leader.instance_estimate(tag), Some(0.5));
+        assert_eq!(other.instance_estimate(tag), Some(0.5));
+
+        // Epoch end drops the led instance but reports its estimate.
+        leader.end_cycle();
+        let result = leader.end_cycle().unwrap();
+        assert!(result
+            .estimates
+            .iter()
+            .any(|(t, v)| *t == tag && (*v - 0.5).abs() < 1e-12));
+        assert!(leader.instance(tag).is_none());
+        assert!(leader.instance(InstanceTag::DEFAULT).is_some());
+    }
+
+    #[test]
+    fn replies_for_unknown_instances_are_ignored() {
+        let config = ProtocolConfig::default();
+        let mut a = ProtocolNode::new(NodeId::new(0), config, 1.0);
+        let orphan_reply = GossipMessage::Reply {
+            from: NodeId::new(9),
+            to: a.id(),
+            instance: InstanceTag(77),
+            epoch: 0,
+            value: 123.0,
+        };
+        assert!(a.handle_message(orphan_reply).is_none());
+        assert_eq!(a.estimate(), Some(1.0));
+    }
+
+    #[test]
+    fn maximum_aggregate_runs_through_the_node_layer() {
+        let config = ProtocolConfig::builder()
+            .aggregate(AggregateKind::Maximum)
+            .build()
+            .unwrap();
+        let mut a = ProtocolNode::new(NodeId::new(0), config, 3.0);
+        let mut b = ProtocolNode::new(NodeId::new(1), config, 11.0);
+        exchange(&mut a, &mut b);
+        assert_eq!(a.estimate(), Some(11.0));
+        assert_eq!(b.estimate(), Some(11.0));
+    }
+
+    #[test]
+    fn accessors_expose_configuration_and_instances() {
+        let config = ProtocolConfig::default();
+        let node = ProtocolNode::new(NodeId::new(3), config, 2.0);
+        assert_eq!(node.id(), NodeId::new(3));
+        assert_eq!(node.config().cycles_per_epoch(), 30);
+        assert_eq!(node.instances().count(), 1);
+        assert_eq!(node.instance_estimate(InstanceTag::DEFAULT), Some(2.0));
+        assert_eq!(node.instance_estimate(InstanceTag(5)), None);
+        assert!(node.participated_from_epoch_start());
+    }
+}

@@ -1,0 +1,254 @@
+//! Bounded partial views of node descriptors.
+
+use crate::NodeDescriptor;
+use overlay_topology::NodeId;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A bounded set of [`NodeDescriptor`]s — the "neighbour set" a node knows
+/// about.
+///
+/// The view never contains two descriptors for the same node (the younger one
+/// wins) and never exceeds its capacity (the oldest entries are evicted
+/// first), which is the newscast merge rule.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PartialView {
+    capacity: usize,
+    entries: Vec<NodeDescriptor>,
+}
+
+impl PartialView {
+    /// Creates an empty view with the given capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "view capacity must be positive");
+        PartialView {
+            capacity,
+            entries: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// The maximum number of descriptors the view can hold.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The number of descriptors currently held.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` when the view holds no descriptors.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over the descriptors (unspecified order).
+    pub fn iter(&self) -> impl Iterator<Item = &NodeDescriptor> {
+        self.entries.iter()
+    }
+
+    /// The node identifiers currently in the view.
+    pub fn node_ids(&self) -> Vec<NodeId> {
+        self.entries.iter().map(|d| d.node).collect()
+    }
+
+    /// Returns `true` if the view holds a descriptor for `node`.
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.entries.iter().any(|d| d.node == node)
+    }
+
+    /// Inserts a descriptor, keeping only the youngest descriptor per node and
+    /// evicting the oldest entries when the capacity is exceeded.
+    pub fn insert(&mut self, descriptor: NodeDescriptor) {
+        match self.entries.iter_mut().find(|d| d.node == descriptor.node) {
+            Some(existing) => {
+                if descriptor.age < existing.age {
+                    existing.age = descriptor.age;
+                }
+            }
+            None => {
+                self.entries.push(descriptor);
+                if self.entries.len() > self.capacity {
+                    self.evict_oldest();
+                }
+            }
+        }
+    }
+
+    /// Merges the descriptors received from a peer (the newscast merge): take
+    /// the union, deduplicate keeping the youngest, keep the `capacity`
+    /// freshest entries. `exclude` (normally the merging node itself) is never
+    /// admitted into the view.
+    pub fn merge(&mut self, incoming: &[NodeDescriptor], exclude: NodeId) {
+        for descriptor in incoming {
+            if descriptor.node != exclude {
+                self.insert(*descriptor);
+            }
+        }
+    }
+
+    /// Increments the age of every descriptor by one cycle.
+    pub fn age_all(&mut self) {
+        for descriptor in &mut self.entries {
+            *descriptor = descriptor.aged();
+        }
+    }
+
+    /// Removes the descriptor of `node` (e.g. when an exchange with it failed
+    /// and it is suspected to have crashed). Returns `true` if it was present.
+    pub fn remove(&mut self, node: NodeId) -> bool {
+        let before = self.entries.len();
+        self.entries.retain(|d| d.node != node);
+        before != self.entries.len()
+    }
+
+    /// Picks a uniformly random node from the view.
+    pub fn random_peer<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<NodeId> {
+        if self.entries.is_empty() {
+            None
+        } else {
+            Some(self.entries[rng.gen_range(0..self.entries.len())].node)
+        }
+    }
+
+    /// Picks the *oldest* descriptor's node (newscast's partner-selection
+    /// heuristic that speeds up the removal of stale descriptors).
+    pub fn oldest_peer(&self) -> Option<NodeId> {
+        self.entries.iter().max_by_key(|d| d.age).map(|d| d.node)
+    }
+
+    fn evict_oldest(&mut self) {
+        while self.entries.len() > self.capacity {
+            if let Some((idx, _)) = self
+                .entries
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, d)| d.age)
+            {
+                self.entries.swap_remove(idx);
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(5)
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_is_rejected() {
+        let _ = PartialView::new(0);
+    }
+
+    #[test]
+    fn insert_deduplicates_keeping_the_youngest() {
+        let mut view = PartialView::new(4);
+        view.insert(NodeDescriptor::with_age(NodeId::new(1), 5));
+        view.insert(NodeDescriptor::with_age(NodeId::new(1), 2));
+        view.insert(NodeDescriptor::with_age(NodeId::new(1), 9));
+        assert_eq!(view.len(), 1);
+        assert_eq!(view.iter().next().unwrap().age, 2);
+    }
+
+    #[test]
+    fn capacity_is_enforced_by_evicting_the_oldest() {
+        let mut view = PartialView::new(2);
+        view.insert(NodeDescriptor::with_age(NodeId::new(1), 7));
+        view.insert(NodeDescriptor::with_age(NodeId::new(2), 1));
+        view.insert(NodeDescriptor::with_age(NodeId::new(3), 3));
+        assert_eq!(view.len(), 2);
+        assert!(!view.contains(NodeId::new(1)), "oldest entry must be evicted");
+        assert!(view.contains(NodeId::new(2)));
+        assert!(view.contains(NodeId::new(3)));
+    }
+
+    #[test]
+    fn merge_excludes_self_and_respects_capacity() {
+        let mut view = PartialView::new(3);
+        let incoming = vec![
+            NodeDescriptor::with_age(NodeId::new(0), 0), // self, must be excluded
+            NodeDescriptor::with_age(NodeId::new(1), 4),
+            NodeDescriptor::with_age(NodeId::new(2), 1),
+            NodeDescriptor::with_age(NodeId::new(3), 2),
+            NodeDescriptor::with_age(NodeId::new(4), 9),
+        ];
+        view.merge(&incoming, NodeId::new(0));
+        assert_eq!(view.len(), 3);
+        assert!(!view.contains(NodeId::new(0)));
+        assert!(!view.contains(NodeId::new(4)), "the oldest descriptor loses");
+    }
+
+    #[test]
+    fn aging_and_removal() {
+        let mut view = PartialView::new(3);
+        view.insert(NodeDescriptor::fresh(NodeId::new(1)));
+        view.insert(NodeDescriptor::with_age(NodeId::new(2), 3));
+        view.age_all();
+        let ages: Vec<u32> = view.iter().map(|d| d.age).collect();
+        assert!(ages.contains(&1) && ages.contains(&4));
+        assert!(view.remove(NodeId::new(1)));
+        assert!(!view.remove(NodeId::new(1)));
+        assert_eq!(view.len(), 1);
+    }
+
+    #[test]
+    fn random_and_oldest_peer_selection() {
+        let mut view = PartialView::new(4);
+        assert!(view.random_peer(&mut rng()).is_none());
+        assert!(view.oldest_peer().is_none());
+        view.insert(NodeDescriptor::with_age(NodeId::new(1), 0));
+        view.insert(NodeDescriptor::with_age(NodeId::new(2), 8));
+        view.insert(NodeDescriptor::with_age(NodeId::new(3), 3));
+        assert_eq!(view.oldest_peer(), Some(NodeId::new(2)));
+        let mut r = rng();
+        for _ in 0..50 {
+            let peer = view.random_peer(&mut r).unwrap();
+            assert!(view.contains(peer));
+        }
+    }
+
+    #[test]
+    fn node_ids_lists_current_members() {
+        let mut view = PartialView::new(4);
+        view.insert(NodeDescriptor::fresh(NodeId::new(7)));
+        view.insert(NodeDescriptor::fresh(NodeId::new(9)));
+        let mut ids = view.node_ids();
+        ids.sort();
+        assert_eq!(ids, vec![NodeId::new(7), NodeId::new(9)]);
+        assert_eq!(view.capacity(), 4);
+        assert!(!view.is_empty());
+    }
+
+    proptest! {
+        /// The view never exceeds its capacity and never contains duplicates,
+        /// no matter what descriptor stream is inserted.
+        #[test]
+        fn prop_capacity_and_uniqueness_invariants(
+            capacity in 1usize..8,
+            inserts in proptest::collection::vec((0u32..20, 0u32..50), 0..100),
+        ) {
+            let mut view = PartialView::new(capacity);
+            for (node, age) in inserts {
+                view.insert(NodeDescriptor::with_age(NodeId::new(node as usize), age));
+                prop_assert!(view.len() <= capacity);
+                let mut ids = view.node_ids();
+                ids.sort();
+                ids.dedup();
+                prop_assert_eq!(ids.len(), view.len());
+            }
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! Binary wire format for gossip messages.
+//!
+//! Each message is a fixed 33-byte frame:
+//!
+//! | bytes | field |
+//! |---|---|
+//! | 1 | message type: `0` = push, `1` = reply |
+//! | 4 | sender node id (big-endian u32) |
+//! | 4 | recipient node id (big-endian u32) |
+//! | 8 | instance tag (big-endian u64) |
+//! | 8 | epoch (big-endian u64) |
+//! | 8 | estimate value (IEEE-754 bits, big-endian u64) |
+//!
+//! The format is intentionally explicit (no serde) so that the byte layout is
+//! stable across versions and trivially implementable by other languages.
+
+use crate::NetError;
+use aggregate_core::{GossipMessage, InstanceTag};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use overlay_topology::NodeId;
+
+/// Exact size of an encoded message in bytes.
+pub const FRAME_LEN: usize = 33;
+
+const TYPE_PUSH: u8 = 0;
+const TYPE_REPLY: u8 = 1;
+
+/// Encodes a message into its 33-byte frame.
+pub fn encode(message: &GossipMessage) -> Bytes {
+    let mut buf = BytesMut::with_capacity(FRAME_LEN);
+    let (tag, from, to, instance, epoch, value) = match *message {
+        GossipMessage::Push {
+            from,
+            to,
+            instance,
+            epoch,
+            value,
+        } => (TYPE_PUSH, from, to, instance, epoch, value),
+        GossipMessage::Reply {
+            from,
+            to,
+            instance,
+            epoch,
+            value,
+        } => (TYPE_REPLY, from, to, instance, epoch, value),
+    };
+    buf.put_u8(tag);
+    buf.put_u32(from.as_u32());
+    buf.put_u32(to.as_u32());
+    buf.put_u64(instance.0);
+    buf.put_u64(epoch);
+    buf.put_u64(value.to_bits());
+    buf.freeze()
+}
+
+/// Decodes a 33-byte frame back into a message.
+///
+/// # Errors
+///
+/// Returns [`NetError::Decode`] when the frame has the wrong length or an
+/// unknown type tag.
+pub fn decode(frame: &[u8]) -> Result<GossipMessage, NetError> {
+    if frame.len() != FRAME_LEN {
+        return Err(NetError::Decode {
+            reason: format!("expected {FRAME_LEN} bytes, got {}", frame.len()),
+        });
+    }
+    let mut buf = frame;
+    let tag = buf.get_u8();
+    let from = NodeId::from_u32(buf.get_u32());
+    let to = NodeId::from_u32(buf.get_u32());
+    let instance = InstanceTag(buf.get_u64());
+    let epoch = buf.get_u64();
+    let value = f64::from_bits(buf.get_u64());
+    match tag {
+        TYPE_PUSH => Ok(GossipMessage::Push {
+            from,
+            to,
+            instance,
+            epoch,
+            value,
+        }),
+        TYPE_REPLY => Ok(GossipMessage::Reply {
+            from,
+            to,
+            instance,
+            epoch,
+            value,
+        }),
+        other => Err(NetError::Decode {
+            reason: format!("unknown message type tag {other}"),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn push(value: f64) -> GossipMessage {
+        GossipMessage::Push {
+            from: NodeId::new(3),
+            to: NodeId::new(8),
+            instance: InstanceTag(42),
+            epoch: 7,
+            value,
+        }
+    }
+
+    #[test]
+    fn frame_length_is_fixed() {
+        assert_eq!(encode(&push(1.5)).len(), FRAME_LEN);
+        let reply = GossipMessage::Reply {
+            from: NodeId::new(8),
+            to: NodeId::new(3),
+            instance: InstanceTag(42),
+            epoch: 7,
+            value: -2.5,
+        };
+        assert_eq!(encode(&reply).len(), FRAME_LEN);
+    }
+
+    #[test]
+    fn round_trip_push_and_reply() {
+        let original = push(123.456);
+        assert_eq!(decode(&encode(&original)).unwrap(), original);
+        let reply = GossipMessage::Reply {
+            from: NodeId::new(1),
+            to: NodeId::new(2),
+            instance: InstanceTag::DEFAULT,
+            epoch: 0,
+            value: f64::MIN_POSITIVE,
+        };
+        assert_eq!(decode(&encode(&reply)).unwrap(), reply);
+    }
+
+    #[test]
+    fn special_float_values_survive_the_round_trip() {
+        for value in [0.0, -0.0, f64::INFINITY, f64::NEG_INFINITY, f64::MAX, 1e-308] {
+            let decoded = decode(&encode(&push(value))).unwrap();
+            match decoded {
+                GossipMessage::Push { value: v, .. } => {
+                    assert_eq!(v.to_bits(), value.to_bits());
+                }
+                _ => panic!("wrong variant"),
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_frames_are_rejected() {
+        assert!(decode(&[]).is_err());
+        assert!(decode(&[0u8; FRAME_LEN - 1]).is_err());
+        assert!(decode(&[0u8; FRAME_LEN + 1]).is_err());
+        let mut bad_tag = encode(&push(1.0)).to_vec();
+        bad_tag[0] = 9;
+        let err = decode(&bad_tag).unwrap_err();
+        assert!(err.to_string().contains("unknown message type"));
+    }
+
+    proptest! {
+        /// Every representable message survives an encode/decode round trip.
+        #[test]
+        fn prop_round_trip(
+            is_push in proptest::bool::ANY,
+            from in 0u32..1_000_000,
+            to in 0u32..1_000_000,
+            instance in 0u64..u64::MAX,
+            epoch in 0u64..u64::MAX,
+            value in -1e18f64..1e18,
+        ) {
+            let msg = if is_push {
+                GossipMessage::Push {
+                    from: NodeId::from_u32(from),
+                    to: NodeId::from_u32(to),
+                    instance: InstanceTag(instance),
+                    epoch,
+                    value,
+                }
+            } else {
+                GossipMessage::Reply {
+                    from: NodeId::from_u32(from),
+                    to: NodeId::from_u32(to),
+                    instance: InstanceTag(instance),
+                    epoch,
+                    value,
+                }
+            };
+            prop_assert_eq!(decode(&encode(&msg)).unwrap(), msg);
+        }
+    }
+}

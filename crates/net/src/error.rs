@@ -1,0 +1,86 @@
+//! Error type for transports and the runtime.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors reported by the networking layer.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum NetError {
+    /// A message could not be decoded (wrong length, unknown type tag, …).
+    Decode {
+        /// Explanation of the decode failure.
+        reason: String,
+    },
+    /// The destination node is not known to the transport.
+    UnknownPeer {
+        /// Index of the unknown peer.
+        peer: u32,
+    },
+    /// The underlying I/O operation failed.
+    Io(std::io::Error),
+    /// The channel to a peer is closed (the peer's runtime has shut down).
+    Disconnected,
+    /// The runtime configuration was invalid.
+    InvalidConfig {
+        /// Explanation.
+        reason: String,
+    },
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Decode { reason } => write!(f, "failed to decode message: {reason}"),
+            NetError::UnknownPeer { peer } => write!(f, "unknown peer node {peer}"),
+            NetError::Io(err) => write!(f, "i/o error: {err}"),
+            NetError::Disconnected => write!(f, "peer channel disconnected"),
+            NetError::InvalidConfig { reason } => write!(f, "invalid runtime config: {reason}"),
+        }
+    }
+}
+
+impl Error for NetError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            NetError::Io(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for NetError {
+    fn from(err: std::io::Error) -> Self {
+        NetError::Io(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(NetError::Decode {
+            reason: "too short".into()
+        }
+        .to_string()
+        .contains("too short"));
+        assert!(NetError::UnknownPeer { peer: 9 }.to_string().contains('9'));
+        assert!(NetError::Disconnected.to_string().contains("disconnected"));
+        assert!(NetError::InvalidConfig {
+            reason: "zero cycle".into()
+        }
+        .to_string()
+        .contains("zero cycle"));
+        let io = NetError::from(std::io::Error::new(std::io::ErrorKind::Other, "boom"));
+        assert!(io.to_string().contains("boom"));
+        assert!(std::error::Error::source(&io).is_some());
+    }
+
+    #[test]
+    fn error_satisfies_std_bounds() {
+        fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<NetError>();
+    }
+}

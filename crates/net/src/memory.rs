@@ -1,0 +1,166 @@
+//! In-process transport backed by crossbeam channels.
+
+use crate::{NetError, Transport};
+use aggregate_core::GossipMessage;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use overlay_topology::NodeId;
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// A single-process "network": one channel pair per node, with every endpoint
+/// holding senders to all other endpoints.
+///
+/// Used by unit/integration tests, by the quickstart example and as the
+/// reference implementation against which the UDP transport is tested.
+///
+/// # Example
+///
+/// ```
+/// use gossip_net::{InMemoryNetwork, Transport};
+/// use aggregate_core::{GossipMessage, InstanceTag};
+/// use overlay_topology::NodeId;
+/// use std::time::Duration;
+///
+/// let endpoints = InMemoryNetwork::create(2);
+/// let push = GossipMessage::Push {
+///     from: NodeId::new(0),
+///     to: NodeId::new(1),
+///     instance: InstanceTag::DEFAULT,
+///     epoch: 0,
+///     value: 1.0,
+/// };
+/// endpoints[0].send(&push).unwrap();
+/// let received = endpoints[1].recv_timeout(Duration::from_millis(50)).unwrap();
+/// assert_eq!(received, Some(push));
+/// ```
+#[derive(Debug)]
+pub struct InMemoryNetwork {
+    id: NodeId,
+    inbox: Receiver<GossipMessage>,
+    outboxes: HashMap<u32, Sender<GossipMessage>>,
+}
+
+impl InMemoryNetwork {
+    /// Creates a fully connected in-memory network of `n` endpoints.
+    pub fn create(n: usize) -> Vec<InMemoryNetwork> {
+        let channels: Vec<(Sender<GossipMessage>, Receiver<GossipMessage>)> =
+            (0..n).map(|_| unbounded()).collect();
+        (0..n)
+            .map(|i| {
+                let outboxes = channels
+                    .iter()
+                    .enumerate()
+                    .filter(|(j, _)| *j != i)
+                    .map(|(j, (tx, _))| (j as u32, tx.clone()))
+                    .collect();
+                InMemoryNetwork {
+                    id: NodeId::new(i),
+                    inbox: channels[i].1.clone(),
+                    outboxes,
+                }
+            })
+            .collect()
+    }
+}
+
+impl Transport for InMemoryNetwork {
+    fn local_node(&self) -> NodeId {
+        self.id
+    }
+
+    fn peers(&self) -> Vec<NodeId> {
+        let mut peers: Vec<NodeId> = self
+            .outboxes
+            .keys()
+            .map(|&raw| NodeId::from_u32(raw))
+            .collect();
+        peers.sort();
+        peers
+    }
+
+    fn send(&self, message: &GossipMessage) -> Result<(), NetError> {
+        let to = message.recipient();
+        let sender = self
+            .outboxes
+            .get(&to.as_u32())
+            .ok_or(NetError::UnknownPeer { peer: to.as_u32() })?;
+        sender.send(*message).map_err(|_| NetError::Disconnected)
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> Result<Option<GossipMessage>, NetError> {
+        match self.inbox.recv_timeout(timeout) {
+            Ok(message) => Ok(Some(message)),
+            Err(crossbeam::channel::RecvTimeoutError::Timeout) => Ok(None),
+            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
+                Err(NetError::Disconnected)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aggregate_core::InstanceTag;
+
+    fn push(from: usize, to: usize, value: f64) -> GossipMessage {
+        GossipMessage::Push {
+            from: NodeId::new(from),
+            to: NodeId::new(to),
+            instance: InstanceTag::DEFAULT,
+            epoch: 0,
+            value,
+        }
+    }
+
+    #[test]
+    fn endpoints_know_their_identity_and_peers() {
+        let endpoints = InMemoryNetwork::create(3);
+        assert_eq!(endpoints[1].local_node(), NodeId::new(1));
+        assert_eq!(endpoints[1].peers(), vec![NodeId::new(0), NodeId::new(2)]);
+    }
+
+    #[test]
+    fn messages_are_routed_to_the_right_endpoint() {
+        let endpoints = InMemoryNetwork::create(3);
+        endpoints[0].send(&push(0, 2, 7.0)).unwrap();
+        endpoints[1].send(&push(1, 2, 8.0)).unwrap();
+        let timeout = Duration::from_millis(100);
+        let first = endpoints[2].recv_timeout(timeout).unwrap().unwrap();
+        let second = endpoints[2].recv_timeout(timeout).unwrap().unwrap();
+        let values: Vec<f64> = [first, second]
+            .iter()
+            .map(|m| match m {
+                GossipMessage::Push { value, .. } => *value,
+                GossipMessage::Reply { value, .. } => *value,
+            })
+            .collect();
+        assert!(values.contains(&7.0) && values.contains(&8.0));
+        // Nothing was delivered to endpoint 1.
+        assert_eq!(
+            endpoints[1].recv_timeout(Duration::from_millis(10)).unwrap(),
+            None
+        );
+    }
+
+    #[test]
+    fn sending_to_unknown_or_self_is_an_error() {
+        let endpoints = InMemoryNetwork::create(2);
+        let err = endpoints[0].send(&push(0, 5, 1.0)).unwrap_err();
+        assert!(matches!(err, NetError::UnknownPeer { peer: 5 }));
+        // Self-sends are also unknown (no loopback channel).
+        let err = endpoints[0].send(&push(0, 0, 1.0)).unwrap_err();
+        assert!(matches!(err, NetError::UnknownPeer { peer: 0 }));
+    }
+
+    #[test]
+    fn recv_timeout_returns_none_when_idle() {
+        let endpoints = InMemoryNetwork::create(2);
+        assert_eq!(
+            endpoints[0]
+                .recv_timeout(Duration::from_millis(5))
+                .unwrap(),
+            None
+        );
+    }
+}

@@ -1,0 +1,107 @@
+//! Network failure conditions: message loss and node crashes.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Failure conditions applied by the simulation engines.
+///
+/// The paper's model assumes reliable, instantaneous communication for the
+/// analysis and discusses failures qualitatively; the robustness ablation
+/// (benchmark A2) quantifies them with this structure. Losses are applied to
+/// each message independently; crashes remove a fraction of nodes at a given
+/// cycle, mimicking a correlated failure event.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NetworkConditions {
+    /// Probability that any individual message (push or reply) is lost.
+    pub message_loss: f64,
+    /// Fraction of live nodes that crash at [`NetworkConditions::crash_at_cycle`].
+    pub crash_fraction: f64,
+    /// Cycle index at which the crash event happens.
+    pub crash_at_cycle: Option<usize>,
+}
+
+impl NetworkConditions {
+    /// Perfect network: no loss, no crashes. This reproduces the paper's
+    /// analytical setting.
+    pub const fn reliable() -> Self {
+        NetworkConditions {
+            message_loss: 0.0,
+            crash_fraction: 0.0,
+            crash_at_cycle: None,
+        }
+    }
+
+    /// Conditions with only uniform message loss.
+    pub fn with_message_loss(loss: f64) -> Self {
+        NetworkConditions {
+            message_loss: loss,
+            ..Self::reliable()
+        }
+    }
+
+    /// Conditions with a single crash event: `fraction` of the nodes die at
+    /// `cycle`.
+    pub fn with_crash(fraction: f64, cycle: usize) -> Self {
+        NetworkConditions {
+            crash_fraction: fraction,
+            crash_at_cycle: Some(cycle),
+            ..Self::reliable()
+        }
+    }
+
+    /// Returns `true` when the parameters are valid probabilities.
+    pub fn is_valid(&self) -> bool {
+        (0.0..=1.0).contains(&self.message_loss)
+            && self.message_loss.is_finite()
+            && (0.0..=1.0).contains(&self.crash_fraction)
+            && self.crash_fraction.is_finite()
+    }
+
+    /// Samples whether one message gets lost.
+    pub fn message_lost<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        self.message_loss > 0.0 && rng.gen_bool(self.message_loss.clamp(0.0, 1.0))
+    }
+}
+
+impl Default for NetworkConditions {
+    fn default() -> Self {
+        Self::reliable()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn reliable_conditions_never_lose_messages() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let cond = NetworkConditions::reliable();
+        assert!(cond.is_valid());
+        assert!((0..1000).all(|_| !cond.message_lost(&mut rng)));
+        assert_eq!(NetworkConditions::default(), cond);
+    }
+
+    #[test]
+    fn loss_rate_is_respected_statistically() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let cond = NetworkConditions::with_message_loss(0.2);
+        let lost = (0..50_000).filter(|_| cond.message_lost(&mut rng)).count();
+        let rate = lost as f64 / 50_000.0;
+        assert!((rate - 0.2).abs() < 0.01, "observed loss rate {rate}");
+    }
+
+    #[test]
+    fn crash_constructor_and_validation() {
+        let cond = NetworkConditions::with_crash(0.5, 5);
+        assert!(cond.is_valid());
+        assert_eq!(cond.crash_at_cycle, Some(5));
+        assert_eq!(cond.crash_fraction, 0.5);
+        assert_eq!(cond.message_loss, 0.0);
+
+        assert!(!NetworkConditions::with_message_loss(1.5).is_valid());
+        assert!(!NetworkConditions::with_message_loss(f64::NAN).is_valid());
+        assert!(!NetworkConditions::with_crash(-0.1, 0).is_valid());
+    }
+}

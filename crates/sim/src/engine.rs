@@ -1,0 +1,578 @@
+//! Cycle-driven simulation engine for the distributed protocol.
+//!
+//! This engine drives real [`ProtocolNode`] state machines (the same code the
+//! live runtime deploys) over a simulated network: per-cycle peer selection,
+//! optional message loss, churn (joins and departures), epoch restarts and
+//! leader election for network-size estimation. It is the engine behind the
+//! Figure 4 reproduction and the robustness ablations.
+//!
+//! For the pure variance-reduction experiments of Figure 3 the lighter
+//! whole-network `AVG` algorithm in [`aggregate_core::avg`] is used instead
+//! (same mathematics, no message objects); see [`crate::runner`].
+
+use crate::{NetworkConditions, SeedSequence};
+use aggregate_core::node::ProtocolNode;
+use aggregate_core::size_estimation::{self, LeaderPolicy};
+use aggregate_core::ProtocolConfig;
+use overlay_topology::NodeId;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a [`GossipSimulation`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimulationConfig {
+    /// Per-node protocol configuration.
+    pub protocol: ProtocolConfig,
+    /// Failure conditions (message loss; crash events are driven by the
+    /// experiment code through [`GossipSimulation::remove_random_nodes`]).
+    pub conditions: NetworkConditions,
+    /// Leader-election policy for network-size estimation; `None` disables
+    /// counting instances entirely.
+    pub leader_policy: Option<LeaderPolicy>,
+}
+
+impl SimulationConfig {
+    /// Plain averaging over a reliable network, no size estimation.
+    pub fn averaging(protocol: ProtocolConfig) -> Self {
+        SimulationConfig {
+            protocol,
+            conditions: NetworkConditions::reliable(),
+            leader_policy: None,
+        }
+    }
+}
+
+/// Summary of one simulated cycle.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CycleSummary {
+    /// Cycle index (0-based, global).
+    pub cycle: usize,
+    /// Number of live nodes at the end of the cycle.
+    pub live_nodes: usize,
+    /// Number of push–pull exchanges initiated.
+    pub exchanges: usize,
+    /// Number of messages dropped by the loss model.
+    pub messages_lost: usize,
+    /// Variance of the default-instance estimates over live nodes.
+    pub estimate_variance: f64,
+    /// Mean of the default-instance estimates over live nodes.
+    pub estimate_mean: f64,
+    /// The epoch that completed at the end of this cycle, if any.
+    pub completed_epoch: Option<u64>,
+    /// Converged default-instance estimates reported by nodes that
+    /// participated in the full epoch (empty unless an epoch completed).
+    pub epoch_estimates: Vec<f64>,
+    /// Converged network-size estimates reported by nodes that participated in
+    /// the full epoch (empty unless an epoch completed and size estimation is
+    /// enabled).
+    pub epoch_size_estimates: Vec<f64>,
+}
+
+/// A cycle-driven simulation of the full distributed protocol.
+///
+/// Peer selection is uniform over the other live nodes, i.e. the overlay is
+/// the complete graph over the current membership — the setting of the paper's
+/// Section 4 experiment. (For static sparse overlays the vector-level
+/// experiments in [`crate::runner`] cover the behaviour; a membership-fed
+/// overlay can be studied by composing this crate with `peer-sampling`.)
+#[derive(Debug)]
+pub struct GossipSimulation {
+    config: SimulationConfig,
+    nodes: Vec<Option<ProtocolNode>>,
+    live: Vec<usize>,
+    cycle: usize,
+    rng: StdRng,
+    last_size_estimate: Option<f64>,
+}
+
+impl GossipSimulation {
+    /// Creates a simulation with one node per initial value, all present from
+    /// epoch 0, using the given master seed.
+    pub fn new(config: SimulationConfig, initial_values: &[f64], master_seed: u64) -> Self {
+        let nodes: Vec<Option<ProtocolNode>> = initial_values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| Some(ProtocolNode::new(NodeId::new(i), config.protocol, v)))
+            .collect();
+        let live = (0..nodes.len()).collect();
+        let mut sim = GossipSimulation {
+            config,
+            nodes,
+            live,
+            cycle: 0,
+            rng: SeedSequence::new(master_seed).rng_for_run(0),
+            last_size_estimate: None,
+        };
+        sim.elect_leaders();
+        sim
+    }
+
+    /// Number of live nodes.
+    pub fn live_count(&self) -> usize {
+        self.live.len()
+    }
+
+    /// The current cycle index.
+    pub fn cycle(&self) -> usize {
+        self.cycle
+    }
+
+    /// The most recent pooled network-size estimate (mean over reporting
+    /// nodes of the last completed epoch), if any epoch has completed.
+    pub fn last_size_estimate(&self) -> Option<f64> {
+        self.last_size_estimate
+    }
+
+    /// Read access to a node (live or not).
+    pub fn node(&self, id: NodeId) -> Option<&ProtocolNode> {
+        self.nodes.get(id.index()).and_then(|slot| slot.as_ref())
+    }
+
+    /// Current default-instance estimates of all live nodes.
+    pub fn estimates(&self) -> Vec<f64> {
+        self.live
+            .iter()
+            .filter_map(|&idx| self.nodes[idx].as_ref())
+            .filter_map(|node| node.estimate())
+            .collect()
+    }
+
+    /// Current local attribute values of all live nodes.
+    pub fn local_values(&self) -> Vec<f64> {
+        self.live
+            .iter()
+            .filter_map(|&idx| self.nodes[idx].as_ref())
+            .map(|node| node.local_value())
+            .collect()
+    }
+
+    /// Updates the local attribute value of a node (takes effect at the next
+    /// epoch restart, as in the paper's adaptive protocol).
+    pub fn set_local_value(&mut self, id: NodeId, value: f64) {
+        if let Some(Some(node)) = self.nodes.get_mut(id.index()) {
+            node.set_local_value(value);
+        }
+    }
+
+    /// Adds a node with the given local value. The node joins passively: it is
+    /// told the next epoch identifier and the number of cycles left until that
+    /// epoch starts, exactly as in Section 4.
+    pub fn add_node(&mut self, local_value: f64) -> NodeId {
+        let id = NodeId::new(self.nodes.len());
+        let cycles_per_epoch = self.config.protocol.cycles_per_epoch() as usize;
+        let cycle_in_epoch = self.cycle % cycles_per_epoch;
+        let cycles_until_start = (cycles_per_epoch - cycle_in_epoch) as u32;
+        let next_epoch = (self.cycle / cycles_per_epoch) as u64 + 1;
+        self.nodes.push(Some(ProtocolNode::joining(
+            id,
+            self.config.protocol,
+            local_value,
+            next_epoch,
+            cycles_until_start,
+        )));
+        self.live.push(id.index());
+        id
+    }
+
+    /// Removes a specific node (crash or departure). Returns `true` if the
+    /// node was live.
+    pub fn remove_node(&mut self, id: NodeId) -> bool {
+        if let Some(position) = self.live.iter().position(|&idx| idx == id.index()) {
+            self.live.swap_remove(position);
+            self.nodes[id.index()] = None;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes `count` uniformly random live nodes (used by churn schedules
+    /// and crash experiments). Returns the number actually removed.
+    pub fn remove_random_nodes(&mut self, count: usize) -> usize {
+        let mut removed = 0;
+        for _ in 0..count {
+            if self.live.is_empty() {
+                break;
+            }
+            let position = self.rng.gen_range(0..self.live.len());
+            let idx = self.live.swap_remove(position);
+            self.nodes[idx] = None;
+            removed += 1;
+        }
+        removed
+    }
+
+    /// Runs one full protocol cycle and returns its summary.
+    pub fn run_cycle(&mut self) -> CycleSummary {
+        let conditions = self.config.conditions;
+        let mut exchanges = 0usize;
+        let mut messages_lost = 0usize;
+
+        // Active phase: every live node initiates one exchange, in random
+        // order (the GETPAIR_SEQ schedule realised by a distributed system).
+        let mut order = self.live.clone();
+        order.shuffle(&mut self.rng);
+        for initiator_idx in order {
+            if self.nodes[initiator_idx].is_none() {
+                continue;
+            }
+            let Some(peer_idx) = self.pick_peer(initiator_idx) else {
+                continue;
+            };
+            let peer_id = NodeId::new(peer_idx);
+            let pushes = self.nodes[initiator_idx]
+                .as_mut()
+                .expect("checked above")
+                .begin_exchange(peer_id);
+            if pushes.is_empty() {
+                continue;
+            }
+            exchanges += 1;
+            for push in pushes {
+                if conditions.message_lost(&mut self.rng) {
+                    messages_lost += 1;
+                    continue;
+                }
+                let reply = match self.nodes[peer_idx].as_mut() {
+                    Some(peer) => peer.handle_message(push),
+                    None => continue,
+                };
+                if let Some(reply) = reply {
+                    if conditions.message_lost(&mut self.rng) {
+                        messages_lost += 1;
+                        continue;
+                    }
+                    if let Some(initiator) = self.nodes[initiator_idx].as_mut() {
+                        initiator.handle_message(reply);
+                    }
+                }
+            }
+        }
+
+        // End-of-cycle phase: epoch book-keeping on every live node.
+        let mut completed_epoch = None;
+        let mut epoch_estimates = Vec::new();
+        let mut epoch_size_estimates = Vec::new();
+        for &idx in &self.live {
+            let Some(node) = self.nodes[idx].as_mut() else {
+                continue;
+            };
+            if let Some(result) = node.end_cycle() {
+                completed_epoch = Some(result.epoch);
+                if result.full_participation {
+                    if let Some(estimate) = result.default_estimate() {
+                        epoch_estimates.push(estimate);
+                    }
+                    if let Some(size) = size_estimation::size_estimate_from_epoch(&result) {
+                        epoch_size_estimates.push(size);
+                    }
+                }
+            }
+        }
+
+        if !epoch_size_estimates.is_empty() {
+            let mean = epoch_size_estimates.iter().sum::<f64>()
+                / epoch_size_estimates.len() as f64;
+            self.last_size_estimate = Some(mean);
+        }
+
+        // A completed epoch means the next cycle starts a new epoch: re-run
+        // the leader election for the counting instances.
+        if completed_epoch.is_some() {
+            self.elect_leaders();
+        }
+
+        let estimates = self.estimates();
+        let estimate_mean = aggregate_core::avg::mean(&estimates);
+        let estimate_variance = aggregate_core::avg::variance(&estimates);
+
+        let summary = CycleSummary {
+            cycle: self.cycle,
+            live_nodes: self.live.len(),
+            exchanges,
+            messages_lost,
+            estimate_variance,
+            estimate_mean,
+            completed_epoch,
+            epoch_estimates,
+            epoch_size_estimates,
+        };
+        self.cycle += 1;
+        summary
+    }
+
+    /// Runs `cycles` consecutive cycles, returning all summaries.
+    pub fn run(&mut self, cycles: usize) -> Vec<CycleSummary> {
+        (0..cycles).map(|_| self.run_cycle()).collect()
+    }
+
+    fn pick_peer(&mut self, initiator_idx: usize) -> Option<usize> {
+        if self.live.len() < 2 {
+            return None;
+        }
+        loop {
+            let candidate = self.live[self.rng.gen_range(0..self.live.len())];
+            if candidate != initiator_idx {
+                return Some(candidate);
+            }
+        }
+    }
+
+    fn elect_leaders(&mut self) {
+        let Some(policy) = self.config.leader_policy else {
+            return;
+        };
+        let previous = self.last_size_estimate;
+        let mut any_leader = false;
+        for &idx in &self.live {
+            if let Some(node) = self.nodes[idx].as_mut() {
+                if size_estimation::elect_leader(node, policy, previous, &mut self.rng) {
+                    any_leader = true;
+                }
+            }
+        }
+        // Guarantee progress: if the random draw elected nobody (possible for
+        // small networks and small probabilities), promote one deterministic
+        // leader so the epoch still produces a size estimate.
+        if !any_leader {
+            if let Some(&idx) = self.live.first() {
+                if let Some(node) = self.nodes[idx].as_mut() {
+                    node.start_led_instance(
+                        aggregate_core::InstanceTag::from_leader(node.id()),
+                        1.0,
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aggregate_core::config::LateJoinPolicy;
+
+    fn averaging_config(cycles_per_epoch: u32) -> SimulationConfig {
+        SimulationConfig::averaging(
+            ProtocolConfig::builder()
+                .cycles_per_epoch(cycles_per_epoch)
+                .build()
+                .unwrap(),
+        )
+    }
+
+    fn counting_config(cycles_per_epoch: u32, policy: LeaderPolicy) -> SimulationConfig {
+        SimulationConfig {
+            protocol: ProtocolConfig::builder()
+                .cycles_per_epoch(cycles_per_epoch)
+                .late_join(LateJoinPolicy::FixedState(0.0))
+                .build()
+                .unwrap(),
+            conditions: NetworkConditions::reliable(),
+            leader_policy: Some(policy),
+        }
+    }
+
+    #[test]
+    fn estimates_converge_to_the_true_average() {
+        let values: Vec<f64> = (0..500).map(|i| i as f64).collect();
+        let true_mean = aggregate_core::avg::mean(&values);
+        let mut sim = GossipSimulation::new(averaging_config(30), &values, 1);
+        let summaries = sim.run(20);
+        let final_variance = summaries.last().unwrap().estimate_variance;
+        assert!(final_variance < 1e-4, "variance {final_variance} too large");
+        assert!((summaries.last().unwrap().estimate_mean - true_mean).abs() < 1e-6);
+        assert_eq!(sim.live_count(), 500);
+        assert_eq!(sim.cycle(), 20);
+    }
+
+    #[test]
+    fn mean_is_preserved_without_failures() {
+        let values: Vec<f64> = (0..200).map(|i| (i % 17) as f64).collect();
+        let true_mean = aggregate_core::avg::mean(&values);
+        let mut sim = GossipSimulation::new(averaging_config(50), &values, 3);
+        for summary in sim.run(10) {
+            assert!(
+                (summary.estimate_mean - true_mean).abs() < 1e-9,
+                "cycle {}: mean drifted to {}",
+                summary.cycle,
+                summary.estimate_mean
+            );
+            assert_eq!(summary.exchanges, 200);
+            assert_eq!(summary.messages_lost, 0);
+        }
+    }
+
+    #[test]
+    fn variance_reduction_per_cycle_matches_the_paper_rate() {
+        // The engine realises GETPAIR_SEQ, so the per-cycle reduction should
+        // hover around 1/(2*sqrt(e)) ≈ 0.303 on a complete overlay.
+        let values: Vec<f64> = (0..5_000).map(|i| (i % 100) as f64).collect();
+        let mut sim = GossipSimulation::new(averaging_config(100), &values, 7);
+        let summaries = sim.run(8);
+        let mut factors = Vec::new();
+        for pair in summaries.windows(2) {
+            if pair[0].estimate_variance > 1e-12 {
+                factors.push(pair[1].estimate_variance / pair[0].estimate_variance);
+            }
+        }
+        let mean_factor = factors.iter().sum::<f64>() / factors.len() as f64;
+        assert!(
+            (mean_factor - aggregate_core::theory::seq_rate()).abs() < 0.06,
+            "mean per-cycle reduction {mean_factor}"
+        );
+    }
+
+    #[test]
+    fn epoch_completion_reports_converged_estimates_and_restarts() {
+        let values = vec![0.0, 10.0, 20.0, 30.0];
+        let mut sim = GossipSimulation::new(averaging_config(10), &values, 5);
+        let mut epoch_seen = false;
+        for summary in sim.run(10) {
+            if let Some(epoch) = summary.completed_epoch {
+                assert_eq!(epoch, 0);
+                assert_eq!(summary.epoch_estimates.len(), 4);
+                for estimate in &summary.epoch_estimates {
+                    assert!((estimate - 15.0).abs() < 0.5);
+                }
+                epoch_seen = true;
+            }
+        }
+        assert!(epoch_seen, "an epoch must complete after 10 cycles");
+    }
+
+    #[test]
+    fn message_loss_slows_but_does_not_prevent_convergence() {
+        let values: Vec<f64> = (0..300).map(|i| i as f64).collect();
+        let mut reliable = GossipSimulation::new(averaging_config(100), &values, 11);
+        let mut lossy = GossipSimulation::new(
+            SimulationConfig {
+                conditions: NetworkConditions::with_message_loss(0.2),
+                ..averaging_config(100)
+            },
+            &values,
+            11,
+        );
+        let reliable_summaries = reliable.run(15);
+        let lossy_summaries = lossy.run(15);
+        let reliable_var = reliable_summaries.last().unwrap().estimate_variance;
+        let lossy_var = lossy_summaries.last().unwrap().estimate_variance;
+        assert!(lossy_summaries.iter().any(|s| s.messages_lost > 0));
+        assert!(lossy_var < 1.0, "lossy network still converges, got {lossy_var}");
+        assert!(
+            reliable_var <= lossy_var * 10.0,
+            "reliable should not be dramatically worse"
+        );
+    }
+
+    #[test]
+    fn joining_nodes_wait_for_the_next_epoch() {
+        let values = vec![5.0; 20];
+        let mut sim = GossipSimulation::new(averaging_config(6), &values, 13);
+        sim.run(2);
+        let newcomer = sim.add_node(500.0);
+        assert_eq!(sim.live_count(), 21);
+        // During the remainder of epoch 0 the newcomer never contaminates the
+        // running average (all veterans hold exactly 5.0).
+        for summary in sim.run(4) {
+            if summary.completed_epoch.is_some() {
+                for estimate in &summary.epoch_estimates {
+                    assert!((estimate - 5.0).abs() < 1e-9);
+                }
+            }
+        }
+        // In the next epoch the newcomer participates and the average moves.
+        let summaries = sim.run(6);
+        let completed: Vec<_> = summaries
+            .iter()
+            .filter(|s| s.completed_epoch.is_some())
+            .collect();
+        assert!(!completed.is_empty());
+        let estimates = &completed.last().unwrap().epoch_estimates;
+        let expected = (5.0 * 20.0 + 500.0) / 21.0;
+        let mean = estimates.iter().sum::<f64>() / estimates.len() as f64;
+        assert!(
+            (mean - expected).abs() < 1e-6,
+            "epoch mean {mean} must equal the new true average {expected}"
+        );
+        for estimate in estimates {
+            // Six cycles of convergence leave a visible spread, but every
+            // node must already be in the right neighbourhood.
+            assert!(
+                (estimate - expected).abs() < 25.0,
+                "estimate {estimate} should approach {expected}"
+            );
+        }
+        assert!(sim.node(newcomer).is_some());
+    }
+
+    #[test]
+    fn node_removal_shrinks_the_live_set() {
+        let values = vec![1.0; 10];
+        let mut sim = GossipSimulation::new(averaging_config(5), &values, 17);
+        assert!(sim.remove_node(NodeId::new(3)));
+        assert!(!sim.remove_node(NodeId::new(3)));
+        assert_eq!(sim.live_count(), 9);
+        assert_eq!(sim.remove_random_nodes(4), 4);
+        assert_eq!(sim.live_count(), 5);
+        assert!(sim.node(NodeId::new(3)).is_none());
+        // The simulation keeps running after removals.
+        let summary = sim.run_cycle();
+        assert_eq!(summary.live_nodes, 5);
+    }
+
+    #[test]
+    fn size_estimation_produces_accurate_epoch_estimates() {
+        let n = 400;
+        let values = vec![0.0; n];
+        let mut sim = GossipSimulation::new(
+            counting_config(25, LeaderPolicy::Fixed { probability: 0.01 }),
+            &values,
+            19,
+        );
+        let summaries = sim.run(25);
+        let last = summaries.last().unwrap();
+        assert_eq!(last.completed_epoch, Some(0));
+        assert!(
+            !last.epoch_size_estimates.is_empty(),
+            "someone must report a size estimate"
+        );
+        let mean_estimate = last.epoch_size_estimates.iter().sum::<f64>()
+            / last.epoch_size_estimates.len() as f64;
+        assert!(
+            (mean_estimate - n as f64).abs() < n as f64 * 0.05,
+            "size estimate {mean_estimate} should be ≈ {n}"
+        );
+        assert!(sim.last_size_estimate().is_some());
+    }
+
+    #[test]
+    fn set_local_value_changes_the_next_epoch_result() {
+        let values = vec![10.0; 8];
+        let mut sim = GossipSimulation::new(averaging_config(4), &values, 23);
+        for i in 0..8 {
+            sim.set_local_value(NodeId::new(i), 30.0);
+        }
+        // First epoch still reports the old average (10), the second the new.
+        let all: Vec<CycleSummary> = sim.run(8);
+        let epochs: Vec<&CycleSummary> =
+            all.iter().filter(|s| s.completed_epoch.is_some()).collect();
+        assert_eq!(epochs.len(), 2);
+        assert!((epochs[0].epoch_estimates[0] - 10.0).abs() < 1e-9);
+        assert!((epochs[1].epoch_estimates[0] - 30.0).abs() < 1e-9);
+        assert_eq!(sim.local_values(), vec![30.0; 8]);
+    }
+
+    #[test]
+    fn tiny_networks_do_not_panic() {
+        let mut sim = GossipSimulation::new(averaging_config(3), &[1.0], 29);
+        let summary = sim.run_cycle();
+        assert_eq!(summary.exchanges, 0);
+        assert_eq!(summary.live_nodes, 1);
+        let mut empty = GossipSimulation::new(averaging_config(3), &[], 31);
+        let summary = empty.run_cycle();
+        assert_eq!(summary.live_nodes, 0);
+    }
+}

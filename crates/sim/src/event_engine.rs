@@ -1,0 +1,373 @@
+//! Event-driven (asynchronous) simulation engine.
+//!
+//! The paper's theoretical model assumes synchronised cycles, but the protocol
+//! itself is asynchronous: "each node is autonomous" and only needs a local
+//! clock. This engine drops the cycle synchronisation entirely — every node
+//! wakes up at its own jittered interval (or after an exponentially
+//! distributed waiting time, the natural realisation of `GETPAIR_RAND`) and
+//! messages take a configurable transmission delay. It is used to validate
+//! that convergence per *unit time* matches the cycle-based prediction even
+//! without synchronised starts, supporting the paper's claim that the
+//! synchronisation assumption can be relaxed.
+
+use aggregate_core::node::ProtocolNode;
+use aggregate_core::{GossipMessage, ProtocolConfig};
+use overlay_topology::NodeId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// How a node chooses the waiting time between its own exchange initiations.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum WakeupDistribution {
+    /// Fixed period with a uniformly random initial phase — the paper's
+    /// `GETWAITINGTIME` returning the constant `Δt`, desynchronised across
+    /// nodes because there is no common start signal.
+    FixedPeriod {
+        /// The cycle length `Δt` in simulated time units.
+        period: f64,
+    },
+    /// Exponentially distributed waiting times with the given mean — the
+    /// randomised `GETWAITINGTIME` the paper mentions for `GETPAIR_RAND`.
+    Exponential {
+        /// Mean waiting time in simulated time units.
+        mean: f64,
+    },
+}
+
+impl WakeupDistribution {
+    fn first_wakeup<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        match *self {
+            WakeupDistribution::FixedPeriod { period } => rng.gen_range(0.0..period),
+            WakeupDistribution::Exponential { mean } => sample_exponential(mean, rng),
+        }
+    }
+
+    fn next_wakeup<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        match *self {
+            WakeupDistribution::FixedPeriod { period } => period,
+            WakeupDistribution::Exponential { mean } => sample_exponential(mean, rng),
+        }
+    }
+}
+
+fn sample_exponential<R: Rng + ?Sized>(mean: f64, rng: &mut R) -> f64 {
+    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    -mean * u.ln()
+}
+
+/// Configuration of the asynchronous engine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AsyncConfig {
+    /// Per-node protocol configuration (epoch machinery is driven by wakeup
+    /// counts, one wakeup playing the role of one local cycle).
+    pub protocol: ProtocolConfig,
+    /// Distribution of the waiting time between a node's initiations.
+    pub wakeup: WakeupDistribution,
+    /// One-way message latency in simulated time units (applied to pushes and
+    /// replies independently).
+    pub message_latency: f64,
+}
+
+/// A snapshot of the network state taken by [`AsyncSimulation::run_until`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimeSample {
+    /// Simulated time of the snapshot.
+    pub time: f64,
+    /// Variance of the estimates across nodes.
+    pub variance: f64,
+    /// Mean of the estimates across nodes.
+    pub mean: f64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Event {
+    Wakeup(NodeId),
+    Deliver(GossipMessage),
+}
+
+/// Entry of the event queue, ordered by time (earliest first via `Reverse`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct QueuedEvent {
+    time: f64,
+    sequence: u64,
+    event: Event,
+}
+
+impl Eq for QueuedEvent {}
+
+impl Ord for QueuedEvent {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.time
+            .partial_cmp(&other.time)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(self.sequence.cmp(&other.sequence))
+    }
+}
+
+impl PartialOrd for QueuedEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Event-driven simulation of the asynchronous protocol.
+#[derive(Debug)]
+pub struct AsyncSimulation {
+    config: AsyncConfig,
+    nodes: Vec<ProtocolNode>,
+    queue: BinaryHeap<Reverse<QueuedEvent>>,
+    now: f64,
+    sequence: u64,
+    rng: StdRng,
+}
+
+impl AsyncSimulation {
+    /// Creates the simulation with one node per initial value; every node gets
+    /// a randomly phased first wakeup so there is no global synchronisation.
+    pub fn new(config: AsyncConfig, initial_values: &[f64], seed: u64) -> Self {
+        let nodes: Vec<ProtocolNode> = initial_values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| ProtocolNode::new(NodeId::new(i), config.protocol, v))
+            .collect();
+        let mut sim = AsyncSimulation {
+            config,
+            nodes,
+            queue: BinaryHeap::new(),
+            now: 0.0,
+            sequence: 0,
+            rng: StdRng::seed_from_u64(seed),
+        };
+        for i in 0..sim.nodes.len() {
+            let t = sim.config.wakeup.first_wakeup(&mut sim.rng);
+            sim.schedule(t, Event::Wakeup(NodeId::new(i)));
+        }
+        sim
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Current estimates of all nodes.
+    pub fn estimates(&self) -> Vec<f64> {
+        self.nodes.iter().filter_map(|n| n.estimate()).collect()
+    }
+
+    /// Runs the simulation until `end_time`, taking a [`TimeSample`] every
+    /// `sample_interval` time units.
+    pub fn run_until(&mut self, end_time: f64, sample_interval: f64) -> Vec<TimeSample> {
+        let mut samples = Vec::new();
+        let mut next_sample = sample_interval;
+        while let Some(Reverse(entry)) = self.queue.peek().copied() {
+            if entry.time > end_time {
+                break;
+            }
+            self.queue.pop();
+            while entry.time >= next_sample && next_sample <= end_time {
+                samples.push(self.sample(next_sample));
+                next_sample += sample_interval;
+            }
+            self.now = entry.time;
+            self.dispatch(entry.event);
+        }
+        while next_sample <= end_time {
+            samples.push(self.sample(next_sample));
+            next_sample += sample_interval;
+        }
+        self.now = end_time;
+        samples
+    }
+
+    fn sample(&self, time: f64) -> TimeSample {
+        let estimates = self.estimates();
+        TimeSample {
+            time,
+            variance: aggregate_core::avg::variance(&estimates),
+            mean: aggregate_core::avg::mean(&estimates),
+        }
+    }
+
+    fn dispatch(&mut self, event: Event) {
+        match event {
+            Event::Wakeup(node_id) => {
+                let n = self.nodes.len();
+                if n >= 2 {
+                    // Uniform random peer over the complete overlay.
+                    let peer = loop {
+                        let candidate = NodeId::new(self.rng.gen_range(0..n));
+                        if candidate != node_id {
+                            break candidate;
+                        }
+                    };
+                    let pushes = self.nodes[node_id.index()].begin_exchange(peer);
+                    for push in pushes {
+                        let delay = self.config.message_latency;
+                        self.schedule(self.now + delay, Event::Deliver(push));
+                    }
+                    // One wakeup is one local cycle for the epoch machinery.
+                    self.nodes[node_id.index()].end_cycle();
+                }
+                let wait = self.config.wakeup.next_wakeup(&mut self.rng);
+                self.schedule(self.now + wait, Event::Wakeup(node_id));
+            }
+            Event::Deliver(message) => {
+                let recipient = message.recipient();
+                if recipient.index() >= self.nodes.len() {
+                    return;
+                }
+                if let Some(reply) = self.nodes[recipient.index()].handle_message(message) {
+                    self.schedule(
+                        self.now + self.config.message_latency,
+                        Event::Deliver(reply),
+                    );
+                }
+            }
+        }
+    }
+
+    fn schedule(&mut self, time: f64, event: Event) {
+        self.sequence += 1;
+        self.queue.push(Reverse(QueuedEvent {
+            time,
+            sequence: self.sequence,
+            event,
+        }));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(wakeup: WakeupDistribution) -> AsyncConfig {
+        AsyncConfig {
+            protocol: ProtocolConfig::builder()
+                .cycles_per_epoch(1_000) // effectively no restarts during the test
+                .build()
+                .unwrap(),
+            wakeup,
+            message_latency: 0.01,
+        }
+    }
+
+    #[test]
+    fn asynchronous_averaging_converges_without_global_synchronisation() {
+        let values: Vec<f64> = (0..300).map(|i| i as f64).collect();
+        let true_mean = aggregate_core::avg::mean(&values);
+        let mut sim = AsyncSimulation::new(
+            config(WakeupDistribution::FixedPeriod { period: 1.0 }),
+            &values,
+            3,
+        );
+        let samples = sim.run_until(20.0, 1.0);
+        assert_eq!(samples.len(), 20);
+        let last = samples.last().unwrap();
+        assert!(last.variance < 1e-3, "variance {} too large", last.variance);
+        assert!((last.mean - true_mean).abs() < 0.5);
+        assert!(sim.now() >= 20.0 - 1e-9);
+    }
+
+    #[test]
+    fn variance_decreases_roughly_exponentially_in_time() {
+        let values: Vec<f64> = (0..500).map(|i| (i % 50) as f64).collect();
+        let mut sim = AsyncSimulation::new(
+            config(WakeupDistribution::FixedPeriod { period: 1.0 }),
+            &values,
+            5,
+        );
+        let samples = sim.run_until(10.0, 1.0);
+        // Each unit of time is one "cycle worth" of wakeups, so consecutive
+        // samples should show a clear geometric decrease.
+        let mut decreasing = 0;
+        for pair in samples.windows(2) {
+            if pair[1].variance < pair[0].variance {
+                decreasing += 1;
+            }
+        }
+        assert!(
+            decreasing >= samples.len() - 2,
+            "variance must decrease in almost every interval"
+        );
+        let first = samples.first().unwrap().variance;
+        let last = samples.last().unwrap().variance;
+        assert!(last < first * 1e-3);
+    }
+
+    #[test]
+    fn exponential_wakeups_also_converge() {
+        let values: Vec<f64> = (0..200).map(|i| i as f64).collect();
+        let true_mean = aggregate_core::avg::mean(&values);
+        let mut sim = AsyncSimulation::new(
+            config(WakeupDistribution::Exponential { mean: 1.0 }),
+            &values,
+            7,
+        );
+        let samples = sim.run_until(25.0, 5.0);
+        let last = samples.last().unwrap();
+        assert!(last.variance < 1e-2);
+        assert!((last.mean - true_mean).abs() < 1.0);
+    }
+
+    #[test]
+    fn mean_is_conserved_despite_in_flight_messages() {
+        // With a non-zero latency some mass is "in flight" at any instant, but
+        // the long-run mean of the node estimates stays at the true average.
+        let values: Vec<f64> = (0..100).map(|i| (i * 3 % 40) as f64).collect();
+        let true_mean = aggregate_core::avg::mean(&values);
+        let mut sim = AsyncSimulation::new(
+            config(WakeupDistribution::FixedPeriod { period: 1.0 }),
+            &values,
+            11,
+        );
+        let samples = sim.run_until(15.0, 15.0);
+        assert!((samples.last().unwrap().mean - true_mean).abs() < 0.75);
+    }
+
+    #[test]
+    fn degenerate_networks_are_handled() {
+        let mut single = AsyncSimulation::new(
+            config(WakeupDistribution::FixedPeriod { period: 1.0 }),
+            &[42.0],
+            13,
+        );
+        let samples = single.run_until(5.0, 1.0);
+        assert_eq!(samples.len(), 5);
+        assert_eq!(samples.last().unwrap().mean, 42.0);
+        assert_eq!(samples.last().unwrap().variance, 0.0);
+
+        let mut empty = AsyncSimulation::new(
+            config(WakeupDistribution::Exponential { mean: 1.0 }),
+            &[],
+            17,
+        );
+        let samples = empty.run_until(2.0, 1.0);
+        assert_eq!(samples.len(), 2);
+        assert_eq!(samples.last().unwrap().mean, 0.0);
+    }
+
+    #[test]
+    fn event_ordering_is_stable_for_equal_times() {
+        let a = QueuedEvent {
+            time: 1.0,
+            sequence: 1,
+            event: Event::Wakeup(NodeId::new(0)),
+        };
+        let b = QueuedEvent {
+            time: 1.0,
+            sequence: 2,
+            event: Event::Wakeup(NodeId::new(1)),
+        };
+        assert!(a < b);
+        let c = QueuedEvent {
+            time: 0.5,
+            sequence: 9,
+            event: Event::Wakeup(NodeId::new(2)),
+        };
+        assert!(c < a);
+    }
+}

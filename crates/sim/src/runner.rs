@@ -1,0 +1,446 @@
+//! Experiment runners: the parameterised procedures behind every figure and
+//! table of the paper, shared by the benchmark harness, the examples and the
+//! integration tests.
+
+use crate::{
+    ChurnSchedule, GossipSimulation, NetworkConditions, SeedSequence, SimulationConfig,
+    ValueDistribution,
+};
+use aggregate_core::avg::{self, CycleReport};
+use aggregate_core::config::LateJoinPolicy;
+use aggregate_core::size_estimation::LeaderPolicy;
+use aggregate_core::{AggregationError, ProtocolConfig, SelectorKind};
+use gossip_analysis::Summary;
+use overlay_topology::{TopologyBuilder, TopologyKind};
+use serde::{Deserialize, Serialize};
+
+/// Parameters of a variance-reduction experiment (the setting of Figure 3).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VarianceExperiment {
+    /// Network size.
+    pub nodes: usize,
+    /// Overlay topology.
+    pub topology: TopologyKind,
+    /// Pair-selection strategy.
+    pub selector: SelectorKind,
+    /// Number of cycles of `AVG` to iterate.
+    pub cycles: usize,
+    /// Number of independent runs to average over (the paper uses 50).
+    pub runs: usize,
+    /// Initial value distribution.
+    pub values: ValueDistribution,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl VarianceExperiment {
+    /// The configuration used throughout Figure 3: uniform initial values and
+    /// 50 runs.
+    pub fn figure3(
+        nodes: usize,
+        topology: TopologyKind,
+        selector: SelectorKind,
+        cycles: usize,
+        runs: usize,
+        seed: u64,
+    ) -> Self {
+        VarianceExperiment {
+            nodes,
+            topology,
+            selector,
+            cycles,
+            runs,
+            values: ValueDistribution::Uniform { lo: 0.0, hi: 1.0 },
+            seed,
+        }
+    }
+
+    /// Runs the experiment and returns, for every cycle, the [`Summary`] over
+    /// runs of the per-cycle variance-reduction factor `σ²_i / σ²_{i-1}`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates topology-construction and protocol errors.
+    pub fn run(&self) -> Result<Vec<Summary>, AggregationError> {
+        let seeds = SeedSequence::new(self.seed);
+        let mut per_cycle_factors: Vec<Vec<f64>> = vec![Vec::new(); self.cycles];
+        for run in 0..self.runs {
+            let mut topo_rng = seeds.rng_for_labeled(run as u64, "topology");
+            let topology = TopologyBuilder::new(self.topology)
+                .nodes(self.nodes)
+                .build(&mut topo_rng)
+                .map_err(|e| AggregationError::invalid_config(e.to_string()))?;
+            let mut rng = seeds.rng_for_labeled(run as u64, "protocol");
+            let mut values = self.values.generate(self.nodes, &mut rng);
+            let mut selector = self.selector.instantiate();
+            let reports =
+                avg::run_avg(&mut values, &topology, selector.as_mut(), &mut rng, self.cycles)?;
+            for (cycle, report) in reports.iter().enumerate() {
+                if let Some(factor) = report.reduction_factor() {
+                    per_cycle_factors[cycle].push(factor);
+                }
+            }
+        }
+        Ok(per_cycle_factors
+            .iter()
+            .map(|factors| Summary::from_slice(factors))
+            .collect())
+    }
+
+    /// Runs the experiment and returns only the first-cycle reduction factor
+    /// summary — the quantity plotted in Figure 3(a).
+    pub fn run_first_cycle(&self) -> Result<Summary, AggregationError> {
+        let mut single_cycle = *self;
+        single_cycle.cycles = 1;
+        Ok(single_cycle.run()?.remove(0))
+    }
+}
+
+/// Runs `cycles` cycles of AVG once (single run) and returns the raw cycle
+/// reports — convenience used by examples and tests that want the full detail
+/// rather than cross-run summaries.
+///
+/// # Errors
+///
+/// Propagates topology-construction and protocol errors.
+pub fn single_run_reports(
+    nodes: usize,
+    topology: TopologyKind,
+    selector: SelectorKind,
+    cycles: usize,
+    values: ValueDistribution,
+    seed: u64,
+) -> Result<Vec<CycleReport>, AggregationError> {
+    let seeds = SeedSequence::new(seed);
+    let mut topo_rng = seeds.rng_for_labeled(0, "topology");
+    let topology = TopologyBuilder::new(topology)
+        .nodes(nodes)
+        .build(&mut topo_rng)
+        .map_err(|e| AggregationError::invalid_config(e.to_string()))?;
+    let mut rng = seeds.rng_for_labeled(0, "protocol");
+    let mut data = values.generate(nodes, &mut rng);
+    let mut selector = selector.instantiate();
+    avg::run_avg(&mut data, &topology, selector.as_mut(), &mut rng, cycles)
+}
+
+/// One reported point of the Figure 4 reproduction: the true network size at
+/// the end of an epoch and the distribution of converged estimates.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SizeEstimationPoint {
+    /// Cycle at which the epoch completed.
+    pub cycle: usize,
+    /// Epoch number.
+    pub epoch: u64,
+    /// Actual number of live nodes at that moment.
+    pub actual_size: usize,
+    /// Mean of the converged size estimates over fully participating nodes.
+    pub estimate_mean: f64,
+    /// Smallest reported estimate (lower error bar in Figure 4).
+    pub estimate_min: f64,
+    /// Largest reported estimate (upper error bar in Figure 4).
+    pub estimate_max: f64,
+    /// Number of nodes that reported an estimate.
+    pub reporting_nodes: usize,
+}
+
+/// Parameters of the Figure 4 network-size-estimation scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SizeEstimationScenario {
+    /// Churn schedule (oscillation + fluctuation).
+    pub churn: ChurnSchedule,
+    /// Epoch length in cycles (the paper uses 30).
+    pub cycles_per_epoch: u32,
+    /// Total number of cycles to simulate (the paper shows 1 000).
+    pub total_cycles: usize,
+    /// Leader-election policy.
+    pub leader_policy: LeaderPolicy,
+    /// Message-loss probability (0 for the paper's setting).
+    pub message_loss: f64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl SizeEstimationScenario {
+    /// The exact scenario of Figure 4 at full scale (≈100 000 nodes,
+    /// 1 000 cycles, epochs of 30 cycles).
+    pub fn figure4(seed: u64) -> Self {
+        SizeEstimationScenario {
+            churn: ChurnSchedule::figure4(),
+            cycles_per_epoch: 30,
+            total_cycles: 1_000,
+            leader_policy: LeaderPolicy::default(),
+            message_loss: 0.0,
+            seed,
+        }
+    }
+
+    /// The Figure 4 scenario scaled down to `base_size` nodes and
+    /// `total_cycles` cycles, for quick runs and tests.
+    pub fn figure4_scaled(base_size: usize, total_cycles: usize, seed: u64) -> Self {
+        SizeEstimationScenario {
+            churn: ChurnSchedule::figure4_scaled(base_size),
+            cycles_per_epoch: 30,
+            total_cycles,
+            leader_policy: LeaderPolicy::default(),
+            message_loss: 0.0,
+            seed,
+        }
+    }
+
+    /// Runs the scenario and returns one point per completed epoch.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the protocol configuration is invalid.
+    pub fn run(&self) -> Result<Vec<SizeEstimationPoint>, AggregationError> {
+        let protocol = ProtocolConfig::builder()
+            .cycles_per_epoch(self.cycles_per_epoch)
+            .late_join(LateJoinPolicy::FixedState(0.0))
+            .build()?;
+        let config = SimulationConfig {
+            protocol,
+            conditions: NetworkConditions::with_message_loss(self.message_loss),
+            leader_policy: Some(self.leader_policy),
+        };
+        let initial_size = self.churn.target_size(0);
+        let values = vec![0.0; initial_size];
+        let mut sim = GossipSimulation::new(config, &values, self.seed);
+        let mut points = Vec::new();
+        for cycle in 0..self.total_cycles {
+            // Apply churn before the cycle runs (joins wait for the next
+            // epoch, departures are immediate).
+            let (joins, departures) = self.churn.changes_at(cycle);
+            for _ in 0..joins {
+                sim.add_node(0.0);
+            }
+            sim.remove_random_nodes(departures);
+
+            let summary = sim.run_cycle();
+            if let Some(epoch) = summary.completed_epoch {
+                if !summary.epoch_size_estimates.is_empty() {
+                    let stats = Summary::from_slice(&summary.epoch_size_estimates);
+                    points.push(SizeEstimationPoint {
+                        cycle,
+                        epoch,
+                        actual_size: summary.live_nodes,
+                        estimate_mean: stats.mean,
+                        estimate_min: stats.min,
+                        estimate_max: stats.max,
+                        reporting_nodes: stats.count,
+                    });
+                }
+            }
+        }
+        Ok(points)
+    }
+}
+
+/// Result of a robustness run (benchmark A2): final accuracy under failures.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RobustnessResult {
+    /// Mean absolute relative error of the final estimates w.r.t. the true
+    /// average of the surviving nodes' values.
+    pub mean_relative_error: f64,
+    /// Variance of the final estimates.
+    pub final_variance: f64,
+    /// Number of live nodes at the end.
+    pub surviving_nodes: usize,
+}
+
+/// Runs the averaging protocol for `cycles` cycles over `nodes` nodes holding
+/// uniform `[0, 1)` values under the given failure conditions, and reports the
+/// final accuracy. Used by the failure-injection ablation.
+///
+/// # Errors
+///
+/// Returns an error when the protocol configuration is invalid.
+pub fn robustness_run(
+    nodes: usize,
+    cycles: usize,
+    conditions: NetworkConditions,
+    seed: u64,
+) -> Result<RobustnessResult, AggregationError> {
+    // The epoch must outlast the run: an epoch restart would reset every
+    // estimate back to the local value right before we measure accuracy.
+    let protocol = ProtocolConfig::builder()
+        .cycles_per_epoch(u32::try_from(cycles + 1).unwrap_or(u32::MAX))
+        .build()?;
+    let config = SimulationConfig {
+        protocol,
+        conditions,
+        leader_policy: None,
+    };
+    let seeds = SeedSequence::new(seed);
+    let mut rng = seeds.rng_for_labeled(0, "values");
+    let values = ValueDistribution::Uniform { lo: 0.0, hi: 1.0 }.generate(nodes, &mut rng);
+    let mut sim = GossipSimulation::new(config, &values, seed);
+    for cycle in 0..cycles {
+        if conditions.crash_at_cycle == Some(cycle) {
+            let crash_count = (conditions.crash_fraction * sim.live_count() as f64) as usize;
+            sim.remove_random_nodes(crash_count);
+        }
+        sim.run_cycle();
+    }
+    // The reference value is the average of the *surviving* nodes' inputs.
+    let survivors_true_mean = avg::mean(&sim.local_values());
+    let estimates = sim.estimates();
+    let mean_relative_error = if survivors_true_mean.abs() > 1e-12 {
+        estimates
+            .iter()
+            .map(|e| (e - survivors_true_mean).abs() / survivors_true_mean.abs())
+            .sum::<f64>()
+            / estimates.len().max(1) as f64
+    } else {
+        0.0
+    };
+    Ok(RobustnessResult {
+        mean_relative_error,
+        final_variance: avg::variance(&estimates),
+        surviving_nodes: sim.live_count(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aggregate_core::theory;
+
+    #[test]
+    fn figure3_point_matches_theory_for_random_selector() {
+        let experiment = VarianceExperiment::figure3(
+            5_000,
+            TopologyKind::Complete,
+            SelectorKind::RandomEdge,
+            1,
+            10,
+            42,
+        );
+        let summary = experiment.run_first_cycle().unwrap();
+        assert_eq!(summary.count, 10);
+        assert!(
+            (summary.mean - theory::rand_rate()).abs() < 0.03,
+            "measured {} vs theoretical {}",
+            summary.mean,
+            theory::rand_rate()
+        );
+    }
+
+    #[test]
+    fn figure3_point_matches_theory_for_sequential_selector_on_regular_graph() {
+        let experiment = VarianceExperiment::figure3(
+            2_000,
+            TopologyKind::RandomRegular { degree: 20 },
+            SelectorKind::Sequential,
+            1,
+            10,
+            43,
+        );
+        let summary = experiment.run_first_cycle().unwrap();
+        assert!(
+            (summary.mean - theory::seq_rate()).abs() < 0.04,
+            "measured {} vs theoretical {}",
+            summary.mean,
+            theory::seq_rate()
+        );
+    }
+
+    #[test]
+    fn multi_cycle_experiment_reports_one_summary_per_cycle() {
+        let experiment = VarianceExperiment::figure3(
+            500,
+            TopologyKind::Complete,
+            SelectorKind::Sequential,
+            5,
+            4,
+            1,
+        );
+        let summaries = experiment.run().unwrap();
+        assert_eq!(summaries.len(), 5);
+        for summary in &summaries {
+            assert!(summary.mean > 0.1 && summary.mean < 0.6);
+        }
+    }
+
+    #[test]
+    fn invalid_topology_parameters_surface_as_errors() {
+        let experiment = VarianceExperiment::figure3(
+            10,
+            TopologyKind::RandomRegular { degree: 50 },
+            SelectorKind::Sequential,
+            1,
+            1,
+            1,
+        );
+        assert!(experiment.run().is_err());
+    }
+
+    #[test]
+    fn single_run_reports_exposes_cycle_details() {
+        let reports = single_run_reports(
+            200,
+            TopologyKind::Complete,
+            SelectorKind::PerfectMatching,
+            3,
+            ValueDistribution::Uniform { lo: 0.0, hi: 1.0 },
+            7,
+        )
+        .unwrap();
+        assert_eq!(reports.len(), 3);
+        assert!(reports[0].contacts.iter().all(|&c| c == 2));
+    }
+
+    #[test]
+    fn scaled_figure4_scenario_tracks_the_oscillating_size() {
+        // 1 000-node version of the Figure 4 scenario, 8 epochs.
+        let scenario = SizeEstimationScenario::figure4_scaled(1_000, 240, 4242);
+        let points = scenario.run().unwrap();
+        assert!(points.len() >= 7, "expected one point per epoch, got {}", points.len());
+        // Skip the first epoch (bootstrap); afterwards the estimate tracks the
+        // actual size within ~15 % (the paper reports a one-epoch lag, so some
+        // systematic offset is expected).
+        for point in points.iter().skip(1) {
+            let relative_error =
+                (point.estimate_mean - point.actual_size as f64).abs() / point.actual_size as f64;
+            assert!(
+                relative_error < 0.15,
+                "epoch {}: estimate {} vs actual {} (error {:.3})",
+                point.epoch,
+                point.estimate_mean,
+                point.actual_size,
+                relative_error
+            );
+            assert!(point.estimate_min <= point.estimate_mean);
+            assert!(point.estimate_max >= point.estimate_mean);
+            assert!(point.reporting_nodes > 0);
+        }
+    }
+
+    #[test]
+    fn robustness_run_without_failures_is_accurate() {
+        let result =
+            robustness_run(500, 20, NetworkConditions::reliable(), 77).unwrap();
+        assert_eq!(result.surviving_nodes, 500);
+        assert!(result.mean_relative_error < 0.01);
+        assert!(result.final_variance < 1e-4);
+    }
+
+    #[test]
+    fn robustness_run_with_crash_keeps_reasonable_accuracy() {
+        let result = robustness_run(
+            500,
+            20,
+            NetworkConditions::with_crash(0.3, 5),
+            78,
+        )
+        .unwrap();
+        assert_eq!(result.surviving_nodes, 350);
+        // A 30 % crash at cycle 5 perturbs the average of the survivors, but
+        // the error stays bounded (values are uniform in [0,1], so the
+        // relative error against a mean of ≈0.5 stays modest).
+        assert!(
+            result.mean_relative_error < 0.2,
+            "error {} too large",
+            result.mean_relative_error
+        );
+    }
+}

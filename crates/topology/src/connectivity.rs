@@ -1,0 +1,240 @@
+//! Connectivity analysis: BFS distances, components, diameter estimation.
+
+use crate::{Graph, NodeId, Topology};
+use rand::Rng;
+use std::collections::VecDeque;
+
+/// Returns `true` if `graph` is connected. The empty graph counts as connected.
+pub(crate) fn is_connected(graph: &Graph) -> bool {
+    let n = graph.len();
+    if n == 0 {
+        return true;
+    }
+    let distances = bfs_distances(graph, NodeId::new(0));
+    distances.iter().all(|d| d.is_some())
+}
+
+/// Computes the BFS distance (in hops) from `source` to every node.
+///
+/// Unreachable nodes are reported as `None`.
+///
+/// # Example
+///
+/// ```
+/// use overlay_topology::{bfs_distances, generators, NodeId};
+///
+/// let ring = generators::ring(6);
+/// let dist = bfs_distances(&ring, NodeId::new(0));
+/// assert_eq!(dist[3], Some(3)); // opposite side of a 6-ring
+/// ```
+///
+/// # Panics
+///
+/// Panics if `source` is out of range.
+pub fn bfs_distances(graph: &Graph, source: NodeId) -> Vec<Option<usize>> {
+    let n = graph.len();
+    assert!(source.index() < n, "source {source} out of range");
+    let mut distances: Vec<Option<usize>> = vec![None; n];
+    let mut queue = VecDeque::new();
+    distances[source.index()] = Some(0);
+    queue.push_back(source);
+    while let Some(current) = queue.pop_front() {
+        let d = distances[current.index()].expect("queued nodes have distances");
+        for &next in graph.neighbors_slice(current) {
+            if distances[next.index()].is_none() {
+                distances[next.index()] = Some(d + 1);
+                queue.push_back(next);
+            }
+        }
+    }
+    distances
+}
+
+/// Partitions the graph into connected components.
+///
+/// Returns one vector of node identifiers per component, ordered by the
+/// smallest node identifier they contain.
+///
+/// # Example
+///
+/// ```
+/// use overlay_topology::{connected_components, Graph, NodeId};
+///
+/// let mut g = Graph::with_nodes(4);
+/// g.add_edge(NodeId::new(0), NodeId::new(1)).unwrap();
+/// let components = connected_components(&g);
+/// assert_eq!(components.len(), 3); // {0,1}, {2}, {3}
+/// ```
+pub fn connected_components(graph: &Graph) -> Vec<Vec<NodeId>> {
+    let n = graph.len();
+    let mut component_of: Vec<Option<usize>> = vec![None; n];
+    let mut components: Vec<Vec<NodeId>> = Vec::new();
+    for start in 0..n {
+        if component_of[start].is_some() {
+            continue;
+        }
+        let id = components.len();
+        let mut members = Vec::new();
+        let mut queue = VecDeque::new();
+        component_of[start] = Some(id);
+        queue.push_back(NodeId::new(start));
+        while let Some(current) = queue.pop_front() {
+            members.push(current);
+            for &next in graph.neighbors_slice(current) {
+                if component_of[next.index()].is_none() {
+                    component_of[next.index()] = Some(id);
+                    queue.push_back(next);
+                }
+            }
+        }
+        members.sort();
+        components.push(members);
+    }
+    components
+}
+
+/// Estimates the diameter (longest shortest path) of a connected graph by
+/// running BFS from `samples` randomly chosen sources and taking the maximum
+/// eccentricity observed.
+///
+/// For a connected graph the estimate is a lower bound on the true diameter;
+/// with a handful of samples it is usually within one or two hops on the
+/// random graphs used in the paper. Returns `None` when the graph is empty or
+/// disconnected.
+///
+/// # Example
+///
+/// ```
+/// use overlay_topology::{estimate_diameter, generators};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let ring = generators::ring(10);
+/// let diameter = estimate_diameter(&ring, 10, &mut rng).unwrap();
+/// assert_eq!(diameter, 5);
+/// ```
+pub fn estimate_diameter<R: Rng + ?Sized>(
+    graph: &Graph,
+    samples: usize,
+    rng: &mut R,
+) -> Option<usize> {
+    let n = graph.len();
+    if n == 0 || samples == 0 {
+        return None;
+    }
+    let mut best = 0usize;
+    for _ in 0..samples {
+        let source = NodeId::new(rng.gen_range(0..n));
+        let distances = bfs_distances(graph, source);
+        let mut eccentricity = 0usize;
+        for d in &distances {
+            match d {
+                Some(v) => eccentricity = eccentricity.max(*v),
+                None => return None, // disconnected
+            }
+        }
+        best = best.max(eccentricity);
+    }
+    Some(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(5)
+    }
+
+    #[test]
+    fn bfs_on_path_graph() {
+        let mut g = Graph::with_nodes(4);
+        g.add_edge(NodeId::new(0), NodeId::new(1)).unwrap();
+        g.add_edge(NodeId::new(1), NodeId::new(2)).unwrap();
+        g.add_edge(NodeId::new(2), NodeId::new(3)).unwrap();
+        let d = bfs_distances(&g, NodeId::new(0));
+        assert_eq!(d, vec![Some(0), Some(1), Some(2), Some(3)]);
+    }
+
+    #[test]
+    fn bfs_marks_unreachable_nodes() {
+        let mut g = Graph::with_nodes(3);
+        g.add_edge(NodeId::new(0), NodeId::new(1)).unwrap();
+        let d = bfs_distances(&g, NodeId::new(0));
+        assert_eq!(d[2], None);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bfs_panics_on_bad_source() {
+        let g = Graph::with_nodes(2);
+        let _ = bfs_distances(&g, NodeId::new(5));
+    }
+
+    #[test]
+    fn components_of_disconnected_graph() {
+        let mut g = Graph::with_nodes(5);
+        g.add_edge(NodeId::new(0), NodeId::new(1)).unwrap();
+        g.add_edge(NodeId::new(2), NodeId::new(3)).unwrap();
+        let comps = connected_components(&g);
+        assert_eq!(comps.len(), 3);
+        assert_eq!(comps[0], vec![NodeId::new(0), NodeId::new(1)]);
+        assert_eq!(comps[1], vec![NodeId::new(2), NodeId::new(3)]);
+        assert_eq!(comps[2], vec![NodeId::new(4)]);
+    }
+
+    #[test]
+    fn components_of_connected_graph_is_single() {
+        let g = Graph::complete(7);
+        let comps = connected_components(&g);
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0].len(), 7);
+    }
+
+    #[test]
+    fn components_of_empty_graph() {
+        let g = Graph::with_nodes(0);
+        assert!(connected_components(&g).is_empty());
+    }
+
+    #[test]
+    fn diameter_of_complete_graph_is_one() {
+        let g = Graph::complete(10);
+        let mut r = rng();
+        assert_eq!(estimate_diameter(&g, 5, &mut r), Some(1));
+    }
+
+    #[test]
+    fn diameter_of_even_ring_is_half() {
+        let g = generators::ring(12);
+        let mut r = rng();
+        assert_eq!(estimate_diameter(&g, 12, &mut r), Some(6));
+    }
+
+    #[test]
+    fn diameter_of_disconnected_graph_is_none() {
+        let mut g = Graph::with_nodes(4);
+        g.add_edge(NodeId::new(0), NodeId::new(1)).unwrap();
+        let mut r = rng();
+        assert_eq!(estimate_diameter(&g, 3, &mut r), None);
+    }
+
+    #[test]
+    fn diameter_edge_cases() {
+        let mut r = rng();
+        assert_eq!(estimate_diameter(&Graph::with_nodes(0), 3, &mut r), None);
+        let g = Graph::complete(3);
+        assert_eq!(estimate_diameter(&g, 0, &mut r), None);
+    }
+
+    #[test]
+    fn is_connected_checks() {
+        assert!(Graph::complete(5).is_connected());
+        let mut g = Graph::with_nodes(2);
+        assert!(!g.is_connected());
+        g.add_edge(NodeId::new(0), NodeId::new(1)).unwrap();
+        assert!(g.is_connected());
+    }
+}

@@ -1,0 +1,128 @@
+//! Error type for topology construction.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors reported while constructing or validating an overlay topology.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum TopologyError {
+    /// The requested degree is impossible for the requested node count
+    /// (for instance `degree >= nodes`, or `nodes * degree` odd for a regular
+    /// graph).
+    InvalidDegree {
+        /// Number of nodes requested.
+        nodes: usize,
+        /// Degree requested.
+        degree: usize,
+        /// Human readable explanation of the constraint that was violated.
+        reason: &'static str,
+    },
+    /// A probability parameter was outside the closed interval `[0, 1]`.
+    InvalidProbability {
+        /// The offending value.
+        value: f64,
+    },
+    /// A generator exhausted its retry budget without producing a valid graph
+    /// (e.g. the pairing model for random regular graphs kept producing
+    /// self-loops or duplicate edges).
+    GenerationFailed {
+        /// Number of attempts made before giving up.
+        attempts: usize,
+        /// Description of the generator that failed.
+        generator: &'static str,
+    },
+    /// A node identifier referenced a node outside the graph.
+    NodeOutOfRange {
+        /// The offending node index.
+        node: usize,
+        /// Number of nodes in the graph.
+        nodes: usize,
+    },
+    /// The requested parameter combination is not supported
+    /// (e.g. a lattice whose side lengths do not multiply to the node count).
+    InvalidParameter {
+        /// Human readable explanation.
+        reason: String,
+    },
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::InvalidDegree {
+                nodes,
+                degree,
+                reason,
+            } => write!(
+                f,
+                "invalid degree {degree} for {nodes} nodes: {reason}"
+            ),
+            TopologyError::InvalidProbability { value } => {
+                write!(f, "probability {value} is outside [0, 1]")
+            }
+            TopologyError::GenerationFailed {
+                attempts,
+                generator,
+            } => write!(
+                f,
+                "{generator} generator failed after {attempts} attempts"
+            ),
+            TopologyError::NodeOutOfRange { node, nodes } => {
+                write!(f, "node {node} out of range for graph with {nodes} nodes")
+            }
+            TopologyError::InvalidParameter { reason } => {
+                write!(f, "invalid parameter: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for TopologyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = TopologyError::InvalidDegree {
+            nodes: 10,
+            degree: 10,
+            reason: "degree must be smaller than the number of nodes",
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("10 nodes"));
+        assert!(msg.contains("degree 10"));
+
+        let e = TopologyError::InvalidProbability { value: 1.5 };
+        assert!(e.to_string().contains("1.5"));
+
+        let e = TopologyError::GenerationFailed {
+            attempts: 100,
+            generator: "random regular",
+        };
+        assert!(e.to_string().contains("100 attempts"));
+
+        let e = TopologyError::NodeOutOfRange { node: 7, nodes: 5 };
+        assert!(e.to_string().contains("node 7"));
+
+        let e = TopologyError::InvalidParameter {
+            reason: "rows*cols != nodes".to_string(),
+        };
+        assert!(e.to_string().contains("rows*cols"));
+    }
+
+    #[test]
+    fn error_is_send_sync_static() {
+        fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<TopologyError>();
+    }
+
+    #[test]
+    fn errors_compare_equal_by_value() {
+        let a = TopologyError::InvalidProbability { value: 0.5 };
+        let b = TopologyError::InvalidProbability { value: 0.5 };
+        assert_eq!(a, b);
+    }
+}

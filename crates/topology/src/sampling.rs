@@ -1,0 +1,174 @@
+//! Sampling primitives shared by topologies and generators.
+
+use rand::{Rng, RngCore};
+
+/// Draws an unordered pair of *distinct* indices uniformly from `0..n`.
+///
+/// Returns `None` if `n < 2`. The pair is returned with the smaller index
+/// first so that callers can use it directly as a normalised undirected edge.
+///
+/// # Example
+///
+/// ```
+/// use overlay_topology::sample_distinct_pair;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+/// let (a, b) = sample_distinct_pair(10, &mut rng).unwrap();
+/// assert!(a < b);
+/// assert!(b < 10);
+/// ```
+pub fn sample_distinct_pair(n: usize, rng: &mut dyn RngCore) -> Option<(usize, usize)> {
+    if n < 2 {
+        return None;
+    }
+    let first = rng.gen_range(0..n);
+    let mut second = rng.gen_range(0..n - 1);
+    if second >= first {
+        second += 1;
+    }
+    Some(if first < second {
+        (first, second)
+    } else {
+        (second, first)
+    })
+}
+
+/// Draws `k` distinct indices uniformly without replacement from `0..n`.
+///
+/// Uses Floyd's algorithm, which needs `O(k)` memory and `O(k)` RNG calls, so
+/// it stays cheap even when `n` is very large (e.g. sampling 20 contacts out
+/// of a 100 000-node overlay).
+///
+/// Returns `None` if `k > n`.
+///
+/// # Example
+///
+/// ```
+/// use overlay_topology::sample_nodes_without_replacement;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+/// let picks = sample_nodes_without_replacement(1_000, 20, &mut rng).unwrap();
+/// assert_eq!(picks.len(), 20);
+/// ```
+pub fn sample_nodes_without_replacement(
+    n: usize,
+    k: usize,
+    rng: &mut dyn RngCore,
+) -> Option<Vec<usize>> {
+    if k > n {
+        return None;
+    }
+    // Robert Floyd's sampling algorithm.
+    let mut chosen: Vec<usize> = Vec::with_capacity(k);
+    for j in (n - k)..n {
+        let t = rng.gen_range(0..=j);
+        if chosen.contains(&t) {
+            chosen.push(j);
+        } else {
+            chosen.push(t);
+        }
+    }
+    Some(chosen)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use std::collections::HashSet;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(2024)
+    }
+
+    #[test]
+    fn distinct_pair_is_distinct_and_ordered() {
+        let mut r = rng();
+        for _ in 0..500 {
+            let (a, b) = sample_distinct_pair(7, &mut r).unwrap();
+            assert!(a < b);
+            assert!(b < 7);
+        }
+    }
+
+    #[test]
+    fn distinct_pair_requires_two_elements() {
+        let mut r = rng();
+        assert!(sample_distinct_pair(0, &mut r).is_none());
+        assert!(sample_distinct_pair(1, &mut r).is_none());
+        assert_eq!(sample_distinct_pair(2, &mut r), Some((0, 1)));
+    }
+
+    #[test]
+    fn distinct_pair_covers_all_pairs() {
+        let mut r = rng();
+        let mut seen = HashSet::new();
+        for _ in 0..2000 {
+            seen.insert(sample_distinct_pair(5, &mut r).unwrap());
+        }
+        // C(5,2) = 10 unordered pairs.
+        assert_eq!(seen.len(), 10);
+    }
+
+    #[test]
+    fn distinct_pair_is_roughly_uniform() {
+        let mut r = rng();
+        let n = 4; // 6 pairs
+        let draws = 30_000;
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..draws {
+            *counts.entry(sample_distinct_pair(n, &mut r).unwrap()).or_insert(0usize) += 1;
+        }
+        let expected = draws as f64 / 6.0;
+        for (&pair, &count) in &counts {
+            assert!(
+                (count as f64 - expected).abs() < expected * 0.1,
+                "pair {pair:?} count {count} deviates from expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn without_replacement_returns_distinct_in_range() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let picks = sample_nodes_without_replacement(50, 12, &mut r).unwrap();
+            assert_eq!(picks.len(), 12);
+            let set: HashSet<_> = picks.iter().copied().collect();
+            assert_eq!(set.len(), 12, "picks must be distinct");
+            assert!(picks.iter().all(|&p| p < 50));
+        }
+    }
+
+    #[test]
+    fn without_replacement_edge_cases() {
+        let mut r = rng();
+        assert_eq!(sample_nodes_without_replacement(5, 0, &mut r), Some(vec![]));
+        assert!(sample_nodes_without_replacement(3, 4, &mut r).is_none());
+        let all = sample_nodes_without_replacement(4, 4, &mut r).unwrap();
+        let set: HashSet<_> = all.into_iter().collect();
+        assert_eq!(set, (0..4).collect());
+    }
+
+    #[test]
+    fn without_replacement_each_element_equally_likely() {
+        // Sampling 2 from 5: every element should be included with probability 2/5.
+        let mut r = rng();
+        let draws = 25_000;
+        let mut counts = [0usize; 5];
+        for _ in 0..draws {
+            for p in sample_nodes_without_replacement(5, 2, &mut r).unwrap() {
+                counts[p] += 1;
+            }
+        }
+        let expected = draws as f64 * 2.0 / 5.0;
+        for &c in &counts {
+            assert!(
+                (c as f64 - expected).abs() < expected * 0.08,
+                "count {c} deviates from expected {expected}"
+            );
+        }
+    }
+}
