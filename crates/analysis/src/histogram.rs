@@ -34,7 +34,7 @@ impl Histogram {
     ///
     /// Returns `None` when the range is empty/invalid or `bins` is zero.
     pub fn new(lo: f64, hi: f64, bins: usize) -> Option<Self> {
-        if !(lo < hi) || bins == 0 || !lo.is_finite() || !hi.is_finite() {
+        if lo >= hi || bins == 0 || !lo.is_finite() || !hi.is_finite() {
             return None;
         }
         Some(Histogram {
@@ -86,7 +86,10 @@ impl Histogram {
             return None;
         }
         let width = (self.hi - self.lo) / self.bins.len() as f64;
-        Some((self.lo + idx as f64 * width, self.lo + (idx + 1) as f64 * width))
+        Some((
+            self.lo + idx as f64 * width,
+            self.lo + (idx + 1) as f64 * width,
+        ))
     }
 
     /// Renders the histogram as a simple text block (one line per bin with a

@@ -114,8 +114,8 @@ impl OnlineStats {
         }
         let total = self.count + other.count;
         let delta = other.mean - self.mean;
-        self.m2 += other.m2
-            + delta * delta * (self.count as f64) * (other.count as f64) / total as f64;
+        self.m2 +=
+            other.m2 + delta * delta * (self.count as f64) * (other.count as f64) / total as f64;
         self.mean += delta * other.count as f64 / total as f64;
         self.count = total;
         self.min = self.min.min(other.min);
@@ -166,7 +166,10 @@ mod tests {
         a.merge(&b);
 
         let mut reference = OnlineStats::new();
-        first.iter().chain(second.iter()).for_each(|&v| reference.push(v));
+        first
+            .iter()
+            .chain(second.iter())
+            .for_each(|&v| reference.push(v));
         assert!((a.mean() - reference.mean()).abs() < 1e-12);
         assert!((a.sample_variance() - reference.sample_variance()).abs() < 1e-12);
         assert_eq!(a.count(), 5);

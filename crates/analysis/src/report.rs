@@ -5,7 +5,7 @@ use serde::{Deserialize, Serialize};
 /// A simple rectangular table with a header row.
 ///
 /// The benchmark binaries print every paper table and figure as one of these,
-/// so that the output is directly pasteable into `EXPERIMENTS.md`.
+/// so that the output is directly pasteable into a markdown report.
 ///
 /// # Example
 ///
@@ -86,7 +86,15 @@ impl Table {
         };
         let mut out = render_row(&self.headers);
         out.push('\n');
-        out.push_str(&"-".repeat(widths.iter().map(|w| w + 2).sum::<usize>().saturating_sub(2)));
+        out.push_str(
+            &"-".repeat(
+                widths
+                    .iter()
+                    .map(|w| w + 2)
+                    .sum::<usize>()
+                    .saturating_sub(2),
+            ),
+        );
         out.push('\n');
         for row in &self.rows {
             out.push_str(&render_row(row));
@@ -130,7 +138,11 @@ mod tests {
     fn sample() -> Table {
         let mut t = Table::new(vec!["selector", "measured", "paper"]);
         t.add_row(vec!["getPair_pm".into(), "0.2498".into(), "0.25".into()]);
-        t.add_row(vec!["getPair_rand".into(), "0.3702".into(), "0.3679".into()]);
+        t.add_row(vec![
+            "getPair_rand".into(),
+            "0.3702".into(),
+            "0.3679".into(),
+        ]);
         t
     }
 

@@ -61,7 +61,12 @@ impl Series {
 
     /// Appends a point with an error-bar range.
     pub fn push_with_range(&mut self, x: f64, y: f64, y_low: f64, y_high: f64) {
-        self.points.push(SeriesPoint { x, y, y_low, y_high });
+        self.points.push(SeriesPoint {
+            x,
+            y,
+            y_low,
+            y_high,
+        });
     }
 
     /// The points of the series.

@@ -55,8 +55,8 @@ fn main() {
         }
         let mean = measured.iter().sum::<f64>() / measured.len() as f64;
         let max = measured.iter().cloned().fold(0.0f64, f64::max);
-        let theoretical = theory::cycles_for_accuracy(selector.theoretical_rate(), target)
-            .expect("valid rate");
+        let theoretical =
+            theory::cycles_for_accuracy(selector.theoretical_rate(), target).expect("valid rate");
         table.add_row(vec![
             selector.paper_name().to_string(),
             format!("{mean:.1}"),

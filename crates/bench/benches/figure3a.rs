@@ -30,13 +30,21 @@ fn main() {
         .filter(|&n| n <= max_n)
         .collect();
     let configurations = [
-        (SelectorKind::RandomEdge, TopologyKind::Complete, "getPair_rand, complete"),
+        (
+            SelectorKind::RandomEdge,
+            TopologyKind::Complete,
+            "getPair_rand, complete",
+        ),
         (
             SelectorKind::RandomEdge,
             TopologyKind::RandomRegular { degree: 20 },
             "getPair_rand, 20-reg. random",
         ),
-        (SelectorKind::Sequential, TopologyKind::Complete, "getPair_seq, complete"),
+        (
+            SelectorKind::Sequential,
+            TopologyKind::Complete,
+            "getPair_seq, complete",
+        ),
         (
             SelectorKind::Sequential,
             TopologyKind::RandomRegular { degree: 20 },

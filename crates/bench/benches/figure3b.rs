@@ -27,13 +27,21 @@ fn main() {
     );
 
     let configurations = [
-        (SelectorKind::RandomEdge, TopologyKind::Complete, "getPair_rand, complete"),
+        (
+            SelectorKind::RandomEdge,
+            TopologyKind::Complete,
+            "getPair_rand, complete",
+        ),
         (
             SelectorKind::RandomEdge,
             TopologyKind::RandomRegular { degree: 20 },
             "getPair_rand, 20-reg. random",
         ),
-        (SelectorKind::Sequential, TopologyKind::Complete, "getPair_seq, complete"),
+        (
+            SelectorKind::Sequential,
+            TopologyKind::Complete,
+            "getPair_seq, complete",
+        ),
         (
             SelectorKind::Sequential,
             TopologyKind::RandomRegular { degree: 20 },

@@ -51,7 +51,11 @@ fn bench_avg_cycle(c: &mut Criterion) {
             b.iter_batched(
                 || {
                     let values: Vec<f64> = (0..n).map(|i| i as f64).collect();
-                    (values, SequentialSelector::new(), rand::rngs::StdRng::seed_from_u64(1))
+                    (
+                        values,
+                        SequentialSelector::new(),
+                        rand::rngs::StdRng::seed_from_u64(1),
+                    )
                 },
                 |(mut values, mut selector, mut rng)| {
                     run_avg_cycle(&mut values, &topo, &mut selector, &mut rng, 0).unwrap()
@@ -89,7 +93,9 @@ fn bench_codec(c: &mut Criterion) {
         epoch: 42,
         value: 3.25,
     };
-    c.bench_function("codec_encode", |b| b.iter(|| codec::encode(black_box(&message))));
+    c.bench_function("codec_encode", |b| {
+        b.iter(|| codec::encode(black_box(&message)))
+    });
     let frame = codec::encode(&message);
     c.bench_function("codec_decode", |b| {
         b.iter(|| codec::decode(black_box(&frame)).unwrap())

@@ -6,8 +6,9 @@
 //! Each bench target is an ordinary binary (Criterion is used only by
 //! `perf_micro`); running `cargo bench -p gossip-bench` executes all of them
 //! and prints the same rows/series the paper reports, next to the theoretical
-//! predictions. The mapping from paper artefact to bench target lives in
-//! `DESIGN.md`; measured-vs-paper numbers are recorded in `EXPERIMENTS.md`.
+//! predictions. The mapping from paper artefact to bench target lives in the
+//! workspace `DESIGN.md`; each target prints its measured-vs-paper numbers
+//! to stdout (tee the output into a file to archive a run).
 //!
 //! ## Scaling knobs
 //!

@@ -253,7 +253,11 @@ mod tests {
             for &(x, y) in &samples {
                 assert_eq!(kind.merge_values(x, y), boxed.merge(x, y), "{kind:?} merge");
                 assert_eq!(kind.init_value(x), boxed.init(x), "{kind:?} init");
-                assert_eq!(kind.estimate_value(x), boxed.estimate(x), "{kind:?} estimate");
+                assert_eq!(
+                    kind.estimate_value(x),
+                    boxed.estimate(x),
+                    "{kind:?} estimate"
+                );
             }
         }
     }

@@ -379,8 +379,7 @@ mod tests {
         for kind in SelectorKind::all() {
             let mut values = uniform_values(n, &mut r);
             let mut selector = kind.instantiate();
-            let report =
-                run_avg_cycle(&mut values, &topo, selector.as_mut(), &mut r, 0).unwrap();
+            let report = run_avg_cycle(&mut values, &topo, selector.as_mut(), &mut r, 0).unwrap();
             let predicted = report.empirical_phi_reduction();
             let observed = report.reduction_factor().unwrap();
             assert!(

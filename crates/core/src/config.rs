@@ -7,22 +7,17 @@ use serde::{Deserialize, Serialize};
 /// What initial state a node gives to an aggregation instance it first learns
 /// about from a peer (i.e. an instance that was started elsewhere while this
 /// node was already running).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub enum LateJoinPolicy {
     /// Seed the instance from the node's own local value (the right choice for
     /// plain averaging, maxima, minima and moments: the node's value is part
     /// of the aggregate).
+    #[default]
     LocalValue,
     /// Seed the instance with a fixed state. The network-size estimator uses
     /// `FixedState(0.0)`: only the leader contributes `1.0`, every other node
     /// contributes `0.0`, so the average converges to `1/N`.
     FixedState(f64),
-}
-
-impl Default for LateJoinPolicy {
-    fn default() -> Self {
-        LateJoinPolicy::LocalValue
-    }
 }
 
 /// Configuration of the anti-entropy aggregation protocol on a node.
@@ -195,8 +190,14 @@ mod tests {
 
     #[test]
     fn invalid_configurations_are_rejected() {
-        assert!(ProtocolConfig::builder().cycles_per_epoch(0).build().is_err());
-        assert!(ProtocolConfig::builder().cycle_length_ms(0).build().is_err());
+        assert!(ProtocolConfig::builder()
+            .cycles_per_epoch(0)
+            .build()
+            .is_err());
+        assert!(ProtocolConfig::builder()
+            .cycle_length_ms(0)
+            .build()
+            .is_err());
         assert!(ProtocolConfig::builder()
             .late_join(LateJoinPolicy::FixedState(f64::NAN))
             .build()

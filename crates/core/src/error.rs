@@ -90,7 +90,9 @@ mod tests {
         assert!(AggregationError::UnknownInstance { instance: 9 }
             .to_string()
             .contains("instance 9"));
-        assert!(AggregationError::EmptyNetwork.to_string().contains("no nodes"));
+        assert!(AggregationError::EmptyNetwork
+            .to_string()
+            .contains("no nodes"));
         assert!(AggregationError::NonFiniteValue {
             value: f64::NAN,
             what: "estimate"

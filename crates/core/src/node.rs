@@ -251,17 +251,22 @@ impl ProtocolNode {
                 let local_value = self.local_value;
                 let aggregate = self.config.aggregate();
                 let current_epoch = self.epochs.current_epoch();
-                let instance = self.instances.entry(tag).or_insert_with(|| match late_join {
-                    LateJoinPolicy::LocalValue => {
-                        AggregationInstance::new(aggregate, local_value, current_epoch)
-                    }
-                    LateJoinPolicy::FixedState(state) => AggregationInstance::with_initial_state(
-                        aggregate,
-                        local_value,
-                        state,
-                        current_epoch,
-                    ),
-                });
+                let instance = self
+                    .instances
+                    .entry(tag)
+                    .or_insert_with(|| match late_join {
+                        LateJoinPolicy::LocalValue => {
+                            AggregationInstance::new(aggregate, local_value, current_epoch)
+                        }
+                        LateJoinPolicy::FixedState(state) => {
+                            AggregationInstance::with_initial_state(
+                                aggregate,
+                                local_value,
+                                state,
+                                current_epoch,
+                            )
+                        }
+                    });
                 let reply_value = instance.absorb_push(value);
                 Some(GossipMessage::Reply {
                     from: self.id,

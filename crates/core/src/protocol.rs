@@ -153,7 +153,12 @@ impl AggregationInstance {
     /// than derived from the local value. Used by the network-size estimator,
     /// where non-leader nodes start from `0.0` regardless of their local
     /// attribute.
-    pub fn with_initial_state(kind: AggregateKind, local_value: f64, state: f64, epoch: u64) -> Self {
+    pub fn with_initial_state(
+        kind: AggregateKind,
+        local_value: f64,
+        state: f64,
+        epoch: u64,
+    ) -> Self {
         AggregationInstance {
             kind,
             local_value,

@@ -207,8 +207,10 @@ mod tests {
     fn selectors_are_usable_as_trait_objects() {
         let topo = CompleteTopology::new(10);
         let mut r = rng();
-        let mut selectors: Vec<Box<dyn PairSelector>> =
-            SelectorKind::all().iter().map(|k| k.instantiate()).collect();
+        let mut selectors: Vec<Box<dyn PairSelector>> = SelectorKind::all()
+            .iter()
+            .map(|k| k.instantiate())
+            .collect();
         for s in &mut selectors {
             s.begin_cycle(&topo, &mut r);
             let pair = s.next_pair(&topo, &mut r);

@@ -81,7 +81,7 @@ impl LeaderPolicy {
                 target_leaders,
                 fallback_probability,
             } => {
-                if !(target_leaders > 0.0) || !target_leaders.is_finite() {
+                if target_leaders <= 0.0 || !target_leaders.is_finite() {
                     return Err(AggregationError::invalid_config(format!(
                         "target leader count {target_leaders} must be positive"
                     )));
@@ -227,7 +227,9 @@ mod tests {
     #[test]
     fn validation_rejects_bad_parameters() {
         assert!(LeaderPolicy::Fixed { probability: 0.5 }.validate().is_ok());
-        assert!(LeaderPolicy::Fixed { probability: -0.1 }.validate().is_err());
+        assert!(LeaderPolicy::Fixed { probability: -0.1 }
+            .validate()
+            .is_err());
         assert!(LeaderPolicy::Fixed { probability: 1.5 }.validate().is_err());
         assert!(LeaderPolicy::Adaptive {
             target_leaders: 0.0,
@@ -350,6 +352,9 @@ mod tests {
         }
         let result = leader.end_cycle().unwrap();
         let estimate = size_estimate_from_epoch(&result).unwrap();
-        assert!((estimate - 2.0).abs() < 1e-6, "estimate {estimate} should be 2");
+        assert!(
+            (estimate - 2.0).abs() < 1e-6,
+            "estimate {estimate} should be 2"
+        );
     }
 }

@@ -5,7 +5,8 @@
 //! during one cycle (Theorem 1): `E(σ²_{i+1}) ≈ ρ · E(σ²_i)`. This module
 //! provides the paper's closed forms, the distributions of `φ` and utility
 //! functions (cycles needed for a target accuracy, predicted variance decay)
-//! used throughout the benchmarks and EXPERIMENTS.md.
+//! used throughout the benchmarks (see the workspace `DESIGN.md` for the
+//! paper-to-bench mapping).
 
 use crate::AggregationError;
 
@@ -163,7 +164,7 @@ mod tests {
     fn shifted_poisson_reduction_matches_series_evaluation() {
         for lambda in [0.5, 1.0, 2.0] {
             let series: f64 = (0..200)
-                .map(|j| 2.0f64.powi(-(j as i32 + 1)) * poisson_pmf(lambda, j as u32))
+                .map(|j| 2.0f64.powi(-(j + 1)) * poisson_pmf(lambda, j as u32))
                 .sum();
             assert!(
                 (series - expected_reduction_shifted_poisson(lambda)).abs() < 1e-12,
@@ -176,7 +177,10 @@ mod tests {
     fn poisson_pmf_is_a_distribution() {
         for lambda in [0.1, 1.0, 2.0, 5.0] {
             let total: f64 = (0..100).map(|k| poisson_pmf(lambda, k)).sum();
-            assert!((total - 1.0).abs() < 1e-9, "pmf does not sum to 1 for {lambda}");
+            assert!(
+                (total - 1.0).abs() < 1e-9,
+                "pmf does not sum to 1 for {lambda}"
+            );
         }
         assert!((poisson_pmf(2.0, 0) - (-2.0f64).exp()).abs() < 1e-12);
         assert!((poisson_pmf(2.0, 1) - 2.0 * (-2.0f64).exp()).abs() < 1e-12);

@@ -184,7 +184,10 @@ mod tests {
         // The union (undirected) graph of the views must be connected; check
         // via the in-degree distribution and a reachability walk over views.
         let in_degrees = network.in_degrees();
-        assert!(in_degrees.iter().all(|&d| d > 0), "no node may be forgotten");
+        assert!(
+            in_degrees.iter().all(|&d| d > 0),
+            "no node may be forgotten"
+        );
         let max_in = *in_degrees.iter().max().unwrap();
         let mean_in: f64 = in_degrees.iter().sum::<usize>() as f64 / in_degrees.len() as f64;
         assert!(

@@ -161,7 +161,6 @@ mod tests {
         node.end_cycle();
         node.view().iter().for_each(|d| assert_eq!(d.age, 1));
         // Make node 2 older explicitly by inserting node 1 fresh again.
-        let mut node = node;
         node.complete_exchange(&[NodeDescriptor::fresh(NodeId::new(1))]);
         assert_eq!(node.exchange_partner(), Some(NodeId::new(2)));
     }
@@ -176,8 +175,11 @@ mod tests {
 
     #[test]
     fn peer_sampling_interface_draws_from_the_view() {
-        let mut node =
-            NewscastNode::new(NodeId::new(0), 4, &[NodeId::new(1), NodeId::new(2), NodeId::new(3)]);
+        let mut node = NewscastNode::new(
+            NodeId::new(0),
+            4,
+            &[NodeId::new(1), NodeId::new(2), NodeId::new(3)],
+        );
         let mut r = rng();
         for _ in 0..50 {
             let peer = node.select_peer(&mut r).unwrap();

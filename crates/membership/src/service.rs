@@ -81,8 +81,7 @@ mod tests {
     #[test]
     fn trait_is_object_safe() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(0);
-        let mut boxed: Box<dyn PeerSampling> =
-            Box::new(StaticPeerList::new(vec![NodeId::new(2)]));
+        let mut boxed: Box<dyn PeerSampling> = Box::new(StaticPeerList::new(vec![NodeId::new(2)]));
         assert_eq!(boxed.select_peer(&mut rng), Some(NodeId::new(2)));
     }
 }

@@ -123,12 +123,7 @@ impl PartialView {
 
     fn evict_oldest(&mut self) {
         while self.entries.len() > self.capacity {
-            if let Some((idx, _)) = self
-                .entries
-                .iter()
-                .enumerate()
-                .max_by_key(|(_, d)| d.age)
-            {
+            if let Some((idx, _)) = self.entries.iter().enumerate().max_by_key(|(_, d)| d.age) {
                 self.entries.swap_remove(idx);
             } else {
                 break;
@@ -170,7 +165,10 @@ mod tests {
         view.insert(NodeDescriptor::with_age(NodeId::new(2), 1));
         view.insert(NodeDescriptor::with_age(NodeId::new(3), 3));
         assert_eq!(view.len(), 2);
-        assert!(!view.contains(NodeId::new(1)), "oldest entry must be evicted");
+        assert!(
+            !view.contains(NodeId::new(1)),
+            "oldest entry must be evicted"
+        );
         assert!(view.contains(NodeId::new(2)));
         assert!(view.contains(NodeId::new(3)));
     }
@@ -188,7 +186,10 @@ mod tests {
         view.merge(&incoming, NodeId::new(0));
         assert_eq!(view.len(), 3);
         assert!(!view.contains(NodeId::new(0)));
-        assert!(!view.contains(NodeId::new(4)), "the oldest descriptor loses");
+        assert!(
+            !view.contains(NodeId::new(4)),
+            "the oldest descriptor loses"
+        );
     }
 
     #[test]

@@ -73,7 +73,7 @@ mod tests {
         }
         .to_string()
         .contains("zero cycle"));
-        let io = NetError::from(std::io::Error::new(std::io::ErrorKind::Other, "boom"));
+        let io = NetError::from(std::io::Error::other("boom"));
         assert!(io.to_string().contains("boom"));
         assert!(std::error::Error::source(&io).is_some());
     }

@@ -91,9 +91,7 @@ impl Transport for InMemoryNetwork {
         match self.inbox.recv_timeout(timeout) {
             Ok(message) => Ok(Some(message)),
             Err(crossbeam::channel::RecvTimeoutError::Timeout) => Ok(None),
-            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
-                Err(NetError::Disconnected)
-            }
+            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => Err(NetError::Disconnected),
         }
     }
 }
@@ -138,7 +136,9 @@ mod tests {
         assert!(values.contains(&7.0) && values.contains(&8.0));
         // Nothing was delivered to endpoint 1.
         assert_eq!(
-            endpoints[1].recv_timeout(Duration::from_millis(10)).unwrap(),
+            endpoints[1]
+                .recv_timeout(Duration::from_millis(10))
+                .unwrap(),
             None
         );
     }
@@ -157,9 +157,7 @@ mod tests {
     fn recv_timeout_returns_none_when_idle() {
         let endpoints = InMemoryNetwork::create(2);
         assert_eq!(
-            endpoints[0]
-                .recv_timeout(Duration::from_millis(5))
-                .unwrap(),
+            endpoints[0].recv_timeout(Duration::from_millis(5)).unwrap(),
             None
         );
     }

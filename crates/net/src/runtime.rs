@@ -115,8 +115,7 @@ fn run_node_loop<T: Transport>(
     let cycle_length = Duration::from_millis(config.cycle_length_ms());
     let poll_interval = Duration::from_millis(1).min(cycle_length);
     // Random initial phase so nodes do not fire in lock-step.
-    let mut next_cycle =
-        Instant::now() + cycle_length.mul_f64(rng.gen_range(0.0..1.0));
+    let mut next_cycle = Instant::now() + cycle_length.mul_f64(rng.gen_range(0.0..1.0));
     let peers = transport.peers();
 
     while !stop.load(Ordering::SeqCst) {

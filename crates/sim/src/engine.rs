@@ -273,8 +273,7 @@ impl GossipSimulation {
         }
 
         if !epoch_size_estimates.is_empty() {
-            let mean = epoch_size_estimates.iter().sum::<f64>()
-                / epoch_size_estimates.len() as f64;
+            let mean = epoch_size_estimates.iter().sum::<f64>() / epoch_size_estimates.len() as f64;
             self.last_size_estimate = Some(mean);
         }
 
@@ -460,7 +459,10 @@ mod tests {
         let reliable_var = reliable_summaries.last().unwrap().estimate_variance;
         let lossy_var = lossy_summaries.last().unwrap().estimate_variance;
         assert!(lossy_summaries.iter().any(|s| s.messages_lost > 0));
-        assert!(lossy_var < 1.0, "lossy network still converges, got {lossy_var}");
+        assert!(
+            lossy_var < 1.0,
+            "lossy network still converges, got {lossy_var}"
+        );
         assert!(
             reliable_var <= lossy_var * 10.0,
             "reliable should not be dramatically worse"
@@ -539,8 +541,8 @@ mod tests {
             !last.epoch_size_estimates.is_empty(),
             "someone must report a size estimate"
         );
-        let mean_estimate = last.epoch_size_estimates.iter().sum::<f64>()
-            / last.epoch_size_estimates.len() as f64;
+        let mean_estimate =
+            last.epoch_size_estimates.iter().sum::<f64>() / last.epoch_size_estimates.len() as f64;
         assert!(
             (mean_estimate - n as f64).abs() < n as f64 * 0.05,
             "size estimate {mean_estimate} should be ≈ {n}"

@@ -73,8 +73,13 @@ impl VarianceExperiment {
             let mut rng = seeds.rng_for_labeled(run as u64, "protocol");
             let mut values = self.values.generate(self.nodes, &mut rng);
             let mut selector = self.selector.instantiate();
-            let reports =
-                avg::run_avg(&mut values, &topology, selector.as_mut(), &mut rng, self.cycles)?;
+            let reports = avg::run_avg(
+                &mut values,
+                &topology,
+                selector.as_mut(),
+                &mut rng,
+                self.cycles,
+            )?;
             for (cycle, report) in reports.iter().enumerate() {
                 if let Some(factor) = report.reduction_factor() {
                     per_cycle_factors[cycle].push(factor);
@@ -394,7 +399,11 @@ mod tests {
         // 1 000-node version of the Figure 4 scenario, 8 epochs.
         let scenario = SizeEstimationScenario::figure4_scaled(1_000, 240, 4242);
         let points = scenario.run().unwrap();
-        assert!(points.len() >= 7, "expected one point per epoch, got {}", points.len());
+        assert!(
+            points.len() >= 7,
+            "expected one point per epoch, got {}",
+            points.len()
+        );
         // Skip the first epoch (bootstrap); afterwards the estimate tracks the
         // actual size within ~15 % (the paper reports a one-epoch lag, so some
         // systematic offset is expected).
@@ -417,8 +426,7 @@ mod tests {
 
     #[test]
     fn robustness_run_without_failures_is_accurate() {
-        let result =
-            robustness_run(500, 20, NetworkConditions::reliable(), 77).unwrap();
+        let result = robustness_run(500, 20, NetworkConditions::reliable(), 77).unwrap();
         assert_eq!(result.surviving_nodes, 500);
         assert!(result.mean_relative_error < 0.01);
         assert!(result.final_variance < 1e-4);
@@ -426,13 +434,7 @@ mod tests {
 
     #[test]
     fn robustness_run_with_crash_keeps_reasonable_accuracy() {
-        let result = robustness_run(
-            500,
-            20,
-            NetworkConditions::with_crash(0.3, 5),
-            78,
-        )
-        .unwrap();
+        let result = robustness_run(500, 20, NetworkConditions::with_crash(0.3, 5), 78).unwrap();
         assert_eq!(result.surviving_nodes, 350);
         // A 30 % crash at cycle 5 perturbs the average of the survivors, but
         // the error stays bounded (values are uniform in [0,1], so the

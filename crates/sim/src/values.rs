@@ -121,7 +121,10 @@ mod tests {
     #[test]
     fn peak_distribution_shape() {
         let mut r = rng();
-        let dist = ValueDistribution::Peak { peak: 100.0, base: 0.0 };
+        let dist = ValueDistribution::Peak {
+            peak: 100.0,
+            base: 0.0,
+        };
         let values = dist.generate(10, &mut r);
         assert_eq!(values[0], 100.0);
         assert!(values[1..].iter().all(|&v| v == 0.0));
@@ -132,7 +135,10 @@ mod tests {
     #[test]
     fn linear_and_constant_distributions() {
         let mut r = rng();
-        let linear = ValueDistribution::Linear { offset: 1.0, slope: 2.0 };
+        let linear = ValueDistribution::Linear {
+            offset: 1.0,
+            slope: 2.0,
+        };
         let values = linear.generate(5, &mut r);
         assert_eq!(values, vec![1.0, 3.0, 5.0, 7.0, 9.0]);
         assert_eq!(linear.expected_mean(5), 5.0);
@@ -147,7 +153,10 @@ mod tests {
     #[test]
     fn gaussian_distribution_matches_requested_moments() {
         let mut r = rng();
-        let dist = ValueDistribution::Gaussian { mean: 10.0, std_dev: 2.0 };
+        let dist = ValueDistribution::Gaussian {
+            mean: 10.0,
+            std_dev: 2.0,
+        };
         let values = dist.generate(50_000, &mut r);
         assert!((mean(&values) - 10.0).abs() < 0.05);
         assert!((variance(&values).sqrt() - 2.0).abs() < 0.05);

@@ -226,7 +226,10 @@ mod tests {
             TopologyKind::ErdosRenyi { p: 0.1 },
             TopologyKind::Ring,
             TopologyKind::Lattice { rows: 10, cols: 10 },
-            TopologyKind::SmallWorld { degree: 4, beta: 0.2 },
+            TopologyKind::SmallWorld {
+                degree: 4,
+                beta: 0.2,
+            },
             TopologyKind::ScaleFree { attachment: 2 },
             TopologyKind::Star,
         ];
@@ -269,9 +272,12 @@ mod tests {
         );
         assert_eq!(TopologyKind::Ring.to_string(), "ring");
         assert_eq!(TopologyKind::Star.to_string(), "star");
-        assert!(TopologyKind::SmallWorld { degree: 4, beta: 0.1 }
-            .to_string()
-            .contains("small-world"));
+        assert!(TopologyKind::SmallWorld {
+            degree: 4,
+            beta: 0.1
+        }
+        .to_string()
+        .contains("small-world"));
     }
 
     #[test]

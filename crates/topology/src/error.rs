@@ -54,20 +54,14 @@ impl fmt::Display for TopologyError {
                 nodes,
                 degree,
                 reason,
-            } => write!(
-                f,
-                "invalid degree {degree} for {nodes} nodes: {reason}"
-            ),
+            } => write!(f, "invalid degree {degree} for {nodes} nodes: {reason}"),
             TopologyError::InvalidProbability { value } => {
                 write!(f, "probability {value} is outside [0, 1]")
             }
             TopologyError::GenerationFailed {
                 attempts,
                 generator,
-            } => write!(
-                f,
-                "{generator} generator failed after {attempts} attempts"
-            ),
+            } => write!(f, "{generator} generator failed after {attempts} attempts"),
             TopologyError::NodeOutOfRange { node, nodes } => {
                 write!(f, "node {node} out of range for graph with {nodes} nodes")
             }

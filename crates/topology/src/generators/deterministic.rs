@@ -58,9 +58,7 @@ pub fn ring(nodes: usize) -> Graph {
 pub fn lattice2d(rows: usize, cols: usize) -> Result<Graph, TopologyError> {
     if rows < 3 || cols < 3 {
         return Err(TopologyError::InvalidParameter {
-            reason: format!(
-                "torus lattice requires both dimensions >= 3, got {rows}x{cols}"
-            ),
+            reason: format!("torus lattice requires both dimensions >= 3, got {rows}x{cols}"),
         });
     }
     let nodes = rows * cols;

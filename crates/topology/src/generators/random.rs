@@ -79,7 +79,10 @@ mod tests {
     fn rejects_invalid_probabilities() {
         let mut r = rng();
         for p in [-0.1, 1.1, f64::NAN, f64::INFINITY] {
-            assert!(erdos_renyi(10, p, &mut r).is_err(), "p={p} should be rejected");
+            assert!(
+                erdos_renyi(10, p, &mut r).is_err(),
+                "p={p} should be rejected"
+            );
         }
     }
 

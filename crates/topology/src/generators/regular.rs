@@ -93,9 +93,8 @@ fn try_stub_matching<R: Rng + ?Sized>(nodes: usize, degree: usize, rng: &mut R) 
         let i = rng.gen_range(0..stubs.len());
         let j = rng.gen_range(0..stubs.len());
         let (a, b) = (stubs[i], stubs[j]);
-        let edge_ok = i != j
-            && a != b
-            && !graph.contains_edge(NodeId::from_u32(a), NodeId::from_u32(b));
+        let edge_ok =
+            i != j && a != b && !graph.contains_edge(NodeId::from_u32(a), NodeId::from_u32(b));
         if !edge_ok {
             rejections += 1;
             if rejections > MAX_CONSECUTIVE_REJECTIONS {
@@ -195,7 +194,10 @@ mod tests {
                 connected += 1;
             }
         }
-        assert!(connected >= 9, "3-regular random graphs should almost always be connected");
+        assert!(
+            connected >= 9,
+            "3-regular random graphs should almost always be connected"
+        );
     }
 
     #[test]

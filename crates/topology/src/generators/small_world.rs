@@ -152,11 +152,7 @@ mod tests {
         let mut r = rng();
         for beta in [0.0, 0.1, 0.5, 1.0] {
             let g = watts_strogatz(100, 6, beta, &mut r).unwrap();
-            assert_eq!(
-                g.num_edges(),
-                100 * 3,
-                "edge count changed for beta={beta}"
-            );
+            assert_eq!(g.num_edges(), 100 * 3, "edge count changed for beta={beta}");
         }
     }
 

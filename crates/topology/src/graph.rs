@@ -277,10 +277,7 @@ mod tests {
     fn add_edge_rejects_out_of_range() {
         let mut g = Graph::with_nodes(3);
         let err = g.add_edge(NodeId::new(0), NodeId::new(3)).unwrap_err();
-        assert_eq!(
-            err,
-            TopologyError::NodeOutOfRange { node: 3, nodes: 3 }
-        );
+        assert_eq!(err, TopologyError::NodeOutOfRange { node: 3, nodes: 3 });
     }
 
     #[test]
@@ -306,8 +303,9 @@ mod tests {
         g.add_edge(NodeId::new(0), NodeId::new(1)).unwrap();
         g.add_edge(NodeId::new(0), NodeId::new(2)).unwrap();
         g.add_edge(NodeId::new(0), NodeId::new(5)).unwrap();
-        let allowed: HashSet<NodeId> =
-            [NodeId::new(1), NodeId::new(2), NodeId::new(5)].into_iter().collect();
+        let allowed: HashSet<NodeId> = [NodeId::new(1), NodeId::new(2), NodeId::new(5)]
+            .into_iter()
+            .collect();
         let mut r = rng();
         let mut seen = HashSet::new();
         for _ in 0..200 {
@@ -382,7 +380,12 @@ mod tests {
         let ids: Vec<_> = g.node_ids().collect();
         assert_eq!(
             ids,
-            vec![NodeId::new(0), NodeId::new(1), NodeId::new(2), NodeId::new(3)]
+            vec![
+                NodeId::new(0),
+                NodeId::new(1),
+                NodeId::new(2),
+                NodeId::new(3)
+            ]
         );
     }
 
@@ -391,7 +394,10 @@ mod tests {
         let mut g = Graph::with_nodes(3);
         g.add_edge(NodeId::new(0), NodeId::new(1)).unwrap();
         g.add_edge(NodeId::new(0), NodeId::new(2)).unwrap();
-        assert_eq!(g.neighbors_slice(NodeId::new(0)), &g.neighbors(NodeId::new(0))[..]);
+        assert_eq!(
+            g.neighbors_slice(NodeId::new(0)),
+            &g.neighbors(NodeId::new(0))[..]
+        );
     }
 
     #[test]

@@ -119,7 +119,9 @@ mod tests {
         let draws = 30_000;
         let mut counts = std::collections::HashMap::new();
         for _ in 0..draws {
-            *counts.entry(sample_distinct_pair(n, &mut r).unwrap()).or_insert(0usize) += 1;
+            *counts
+                .entry(sample_distinct_pair(n, &mut r).unwrap())
+                .or_insert(0usize) += 1;
         }
         let expected = draws as f64 / 6.0;
         for (&pair, &count) in &counts {

@@ -51,7 +51,11 @@ fn scenario(label: &str, conditions: NetworkConditions, crash_cycle: Option<usiz
 fn main() {
     println!("averaging over 2000 nodes, 25 cycles, values 0..99 (true average 49.5)");
     println!();
-    scenario("baseline (reliable network)", NetworkConditions::reliable(), None);
+    scenario(
+        "baseline (reliable network)",
+        NetworkConditions::reliable(),
+        None,
+    );
     scenario(
         "10% message loss",
         NetworkConditions::with_message_loss(0.10),

@@ -30,7 +30,10 @@ fn main() -> Result<(), AggregationError> {
     let topology = CompleteTopology::new(n);
     let mut selector = SequentialSelector::new();
 
-    println!("cycle  variance          reduction  (theory: {:.3})", theory::seq_rate());
+    println!(
+        "cycle  variance          reduction  (theory: {:.3})",
+        theory::seq_rate()
+    );
     let reports = run_avg(&mut values, &topology, &mut selector, &mut rng, 15)?;
     for report in &reports {
         println!(
@@ -46,7 +49,10 @@ fn main() -> Result<(), AggregationError> {
         .map(|v| (v - true_average).abs())
         .fold(0.0f64, f64::max);
     println!();
-    println!("after {} cycles every node knows the average", reports.len());
+    println!(
+        "after {} cycles every node knows the average",
+        reports.len()
+    );
     println!("worst per-node error  : {worst:.6}");
     Ok(())
 }

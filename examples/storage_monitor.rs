@@ -50,15 +50,23 @@ fn main() -> Result<(), AggregationError> {
     let mut rng = rand::rngs::StdRng::seed_from_u64(7);
     // Free disk space per storage node, in GB: a skewed population with a few
     // nearly-full nodes and a few huge ones.
-    let free_space_gb: Vec<f64> = ValueDistribution::Gaussian { mean: 500.0, std_dev: 150.0 }
-        .generate(n, &mut rng)
-        .into_iter()
-        .map(|v| v.clamp(1.0, 2_000.0))
-        .collect();
+    let free_space_gb: Vec<f64> = ValueDistribution::Gaussian {
+        mean: 500.0,
+        std_dev: 150.0,
+    }
+    .generate(n, &mut rng)
+    .into_iter()
+    .map(|v| v.clamp(1.0, 2_000.0))
+    .collect();
 
     let cycles = 30;
     let avg = run_aggregate(AggregateKind::Average, &free_space_gb, cycles, 100)?;
-    let second_moment = run_aggregate(AggregateKind::Moment { order: 2 }, &free_space_gb, cycles, 101)?;
+    let second_moment = run_aggregate(
+        AggregateKind::Moment { order: 2 },
+        &free_space_gb,
+        cycles,
+        101,
+    )?;
     let min = run_aggregate(AggregateKind::Minimum, &free_space_gb, cycles, 102)?;
     let max = run_aggregate(AggregateKind::Maximum, &free_space_gb, cycles, 103)?;
 
@@ -69,21 +77,39 @@ fn main() -> Result<(), AggregationError> {
     let topology = CompleteTopology::new(n);
     let mut selector = SequentialSelector::new();
     let mut count_rng = rand::rngs::StdRng::seed_from_u64(104);
-    run_avg(&mut counting, &topology, &mut selector, &mut count_rng, cycles)?;
+    run_avg(
+        &mut counting,
+        &topology,
+        &mut selector,
+        &mut count_rng,
+        cycles,
+    )?;
     let count_average = counting[0];
 
     let stats = NetworkStatistics::from_estimates(avg, second_moment, min, max, count_average);
 
     println!("=== distributed storage dashboard (computed by gossip, no coordinator) ===");
-    println!("estimated node count      : {:>12.0}   (actual {n})", stats.size);
+    println!(
+        "estimated node count      : {:>12.0}   (actual {n})",
+        stats.size
+    );
     println!("average free space        : {:>12.1} GB", stats.mean);
-    println!("std deviation             : {:>12.1} GB", stats.variance.sqrt());
+    println!(
+        "std deviation             : {:>12.1} GB",
+        stats.variance.sqrt()
+    );
     println!("smallest free space       : {:>12.1} GB", stats.min);
     println!("largest free space        : {:>12.1} GB", stats.max);
-    println!("estimated total capacity  : {:>12.1} TB", stats.sum / 1_000.0);
+    println!(
+        "estimated total capacity  : {:>12.1} TB",
+        stats.sum / 1_000.0
+    );
 
     let true_total: f64 = free_space_gb.iter().sum();
-    println!("actual total capacity     : {:>12.1} TB", true_total / 1_000.0);
+    println!(
+        "actual total capacity     : {:>12.1} TB",
+        true_total / 1_000.0
+    );
     println!(
         "relative error on the total: {:>11.3}%",
         100.0 * (stats.sum - true_total).abs() / true_total

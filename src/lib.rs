@@ -55,8 +55,7 @@ pub mod prelude {
     pub use aggregate_core::avg::{mean, run_avg, run_avg_cycle, variance};
     pub use aggregate_core::node::ProtocolNode;
     pub use aggregate_core::selectors::{
-        PairSelector, PerfectMatchingSelector, RandomEdgeSelector, SelectorKind,
-        SequentialSelector,
+        PairSelector, PerfectMatchingSelector, RandomEdgeSelector, SelectorKind, SequentialSelector,
     };
     pub use aggregate_core::size_estimation::LeaderPolicy;
     pub use aggregate_core::{theory, AggregationError, GossipMessage, ProtocolConfig};

@@ -1,0 +1,104 @@
+//! Regression tests for seeded reproducibility: identical seeds must give
+//! bit-identical runs at both levels of the stack — the vector-level `run_avg`
+//! and the node-level `GossipSimulation` — which is what lets
+//! `simulator_and_vector_algorithm_agree` and every benchmark pin exact
+//! tolerances to fixed seeds.
+
+use epidemic_aggregation::prelude::*;
+use rand::SeedableRng;
+
+fn vector_run(seed: u64) -> (Vec<u64>, Vec<(u64, u64)>) {
+    let n = 500;
+    let mut values: Vec<f64> = (0..n).map(|i| (i % 91) as f64).collect();
+    let topology = CompleteTopology::new(n);
+    let mut selector = SequentialSelector::new();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let reports = run_avg(&mut values, &topology, &mut selector, &mut rng, 8).unwrap();
+    (
+        values.iter().map(|v| v.to_bits()).collect(),
+        reports
+            .iter()
+            .map(|r| (r.variance_before.to_bits(), r.variance_after.to_bits()))
+            .collect(),
+    )
+}
+
+#[test]
+fn vector_level_runs_are_bit_identical_for_identical_seeds() {
+    assert_eq!(vector_run(2024), vector_run(2024));
+    assert_ne!(
+        vector_run(2024).0,
+        vector_run(2025).0,
+        "different seeds must explore different exchange schedules"
+    );
+}
+
+fn simulation_summaries(seed: u64) -> Vec<gossip_sim::CycleSummary> {
+    let values: Vec<f64> = (0..400).map(|i| (i % 53) as f64).collect();
+    let protocol = ProtocolConfig::builder()
+        .cycles_per_epoch(10)
+        .build()
+        .unwrap();
+    let mut sim = GossipSimulation::new(SimulationConfig::averaging(protocol), &values, seed);
+    sim.run(25)
+}
+
+#[test]
+fn node_level_simulations_are_bit_identical_for_identical_seeds() {
+    let a = simulation_summaries(77);
+    let b = simulation_summaries(77);
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.cycle, y.cycle);
+        assert_eq!(x.exchanges, y.exchanges);
+        assert_eq!(x.messages_lost, y.messages_lost);
+        assert_eq!(
+            x.estimate_mean.to_bits(),
+            y.estimate_mean.to_bits(),
+            "cycle {}: means differ at the bit level",
+            x.cycle
+        );
+        assert_eq!(
+            x.estimate_variance.to_bits(),
+            y.estimate_variance.to_bits(),
+            "cycle {}: variances differ at the bit level",
+            x.cycle
+        );
+        assert_eq!(x.epoch_estimates, y.epoch_estimates);
+    }
+    assert_ne!(
+        simulation_summaries(77)
+            .last()
+            .unwrap()
+            .estimate_variance
+            .to_bits(),
+        simulation_summaries(78)
+            .last()
+            .unwrap()
+            .estimate_variance
+            .to_bits(),
+        "different master seeds must give different trajectories"
+    );
+}
+
+/// The experiment runners (used by the benches and the convergence-rate
+/// integration tests) are reproducible end to end: same seed, same Summary.
+#[test]
+fn variance_experiments_are_reproducible() {
+    let run = || {
+        VarianceExperiment::figure3(
+            2_000,
+            TopologyKind::Complete,
+            SelectorKind::Sequential,
+            1,
+            5,
+            123,
+        )
+        .run_first_cycle()
+        .unwrap()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.mean.to_bits(), b.mean.to_bits());
+    assert_eq!(a.std_dev.to_bits(), b.std_dev.to_bits());
+}

@@ -12,7 +12,10 @@ fn simulator_and_vector_algorithm_agree() {
     let values: Vec<f64> = (0..n).map(|i| (i % 250) as f64).collect();
     let true_mean = mean(&values);
 
-    let protocol = ProtocolConfig::builder().cycles_per_epoch(100).build().unwrap();
+    let protocol = ProtocolConfig::builder()
+        .cycles_per_epoch(100)
+        .build()
+        .unwrap();
     let mut sim = GossipSimulation::new(SimulationConfig::averaging(protocol), &values, 21);
     let summaries = sim.run(20);
     let last = summaries.last().unwrap();
@@ -26,7 +29,10 @@ fn simulator_and_vector_algorithm_agree() {
 fn epochs_track_changing_inputs() {
     let n = 300;
     let values = vec![10.0; n];
-    let protocol = ProtocolConfig::builder().cycles_per_epoch(15).build().unwrap();
+    let protocol = ProtocolConfig::builder()
+        .cycles_per_epoch(15)
+        .build()
+        .unwrap();
     let mut sim = GossipSimulation::new(SimulationConfig::averaging(protocol), &values, 9);
 
     // First epoch: average of the original values.
@@ -52,8 +58,14 @@ fn epochs_track_changing_inputs() {
         }
     }
     assert_eq!(epoch_estimates.len(), 2);
-    assert!((epoch_estimates[0] - 10.0).abs() < 1e-9, "in-flight epoch keeps the old average");
-    assert!((epoch_estimates[1] - 20.0).abs() < 1e-9, "next epoch reports the new average");
+    assert!(
+        (epoch_estimates[0] - 10.0).abs() < 1e-9,
+        "in-flight epoch keeps the old average"
+    );
+    assert!(
+        (epoch_estimates[1] - 20.0).abs() < 1e-9,
+        "next epoch reports the new average"
+    );
 }
 
 /// Network size estimation end to end, with leader election and epochs, over

@@ -1,0 +1,236 @@
+//! A minimal, dependency-free stand-in for the [`criterion`] benchmark
+//! harness.
+//!
+//! The build environment for this workspace has no access to crates.io, so
+//! this vendored crate mirrors the `criterion` API the workspace's
+//! `perf_micro` bench uses — `criterion_group!`/`criterion_main!`,
+//! [`Criterion::bench_function`], benchmark groups with `sample_size`, and
+//! [`Bencher::iter`]/[`Bencher::iter_batched`] — but measures plain
+//! wall-clock time (median over the samples) instead of running criterion's
+//! statistical analysis. Numbers are printed in criterion's familiar
+//! one-line-per-benchmark format.
+//!
+//! [`criterion`]: https://docs.rs/criterion
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`], as the real criterion provides.
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortises setup cost; accepted for API compatibility,
+/// the stub times every batch individually regardless.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// Re-create the input on every iteration.
+    PerIteration,
+}
+
+/// Timing driver handed to each benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_count: usize,
+}
+
+impl Bencher {
+    fn new(sample_count: usize) -> Self {
+        Bencher {
+            samples: Vec::with_capacity(sample_count),
+            sample_count,
+        }
+    }
+
+    /// Times `routine`, called repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up.
+        black_box(routine());
+        for _ in 0..self.sample_count {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    /// Times `routine` on fresh inputs produced by `setup`; only the routine
+    /// is measured.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        black_box(routine(setup()));
+        for _ in 0..self.sample_count {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    fn median(&mut self) -> Duration {
+        if self.samples.is_empty() {
+            return Duration::ZERO;
+        }
+        self.samples.sort_unstable();
+        self.samples[self.samples.len() / 2]
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1_000.0)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1_000_000_000.0)
+    }
+}
+
+const DEFAULT_SAMPLE_COUNT: usize = 20;
+
+/// The benchmark harness: collects named benchmarks and prints one timing
+/// line per benchmark.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_count: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_count: DEFAULT_SAMPLE_COUNT,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_count = n.max(1);
+        self
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.into(), self.sample_count, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_count: self.sample_count,
+            _criterion: self,
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, sample_count: usize, f: &mut F) {
+    let mut bencher = Bencher::new(sample_count);
+    f(&mut bencher);
+    let median = bencher.median();
+    println!(
+        "{id:<50} time: [{}] (median of {sample_count})",
+        format_duration(median)
+    );
+}
+
+/// A group of related benchmarks sharing a name prefix and sample size.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_count: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_count = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        run_one(&full, self.sample_count, &mut f);
+        self
+    }
+
+    /// Finishes the group (the stub prints nothing extra).
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        #[allow(missing_docs)]
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main` function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_the_closure() {
+        let mut counter = 0u64;
+        Criterion::default()
+            .sample_size(3)
+            .bench_function("counter", |b| b.iter(|| counter += 1));
+        // 1 warm-up + 3 samples.
+        assert_eq!(counter, 4);
+    }
+
+    #[test]
+    fn iter_batched_separates_setup_from_routine() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("g");
+        group.sample_size(2);
+        let mut sum = 0u64;
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| 21u64, |x| sum += x, BatchSize::SmallInput)
+        });
+        group.finish();
+        assert_eq!(sum, 63); // warm-up + 2 samples, 21 each
+    }
+
+    #[test]
+    fn durations_format_with_sensible_units() {
+        assert_eq!(format_duration(Duration::from_nanos(10)), "10 ns");
+        assert_eq!(format_duration(Duration::from_micros(2)), "2.00 µs");
+        assert_eq!(format_duration(Duration::from_millis(3)), "3.00 ms");
+        assert_eq!(format_duration(Duration::from_secs(4)), "4.00 s");
+    }
+}

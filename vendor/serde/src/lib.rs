@@ -1,0 +1,108 @@
+//! A minimal, dependency-free stand-in for the [`serde`] crate.
+//!
+//! The build environment for this workspace has no access to crates.io. The
+//! workspace only ever uses serde as *markers* — `#[derive(Serialize,
+//! Deserialize)]` plus occasional `T: Serialize` bounds; no data format crate
+//! (JSON, bincode, …) is ever linked. This stub therefore provides the two
+//! traits with no required methods and a derive macro that emits empty
+//! implementations, so all the derives and bounds compile unchanged and can
+//! be swapped back to real serde the moment a registry is available.
+//!
+//! [`serde`]: https://docs.rs/serde/1
+
+#![forbid(unsafe_code)]
+
+// Lets the derive-generated `::serde` paths resolve inside this crate's own
+// test module.
+extern crate self as serde;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A type that can be serialized.
+///
+/// In this offline stub the trait is a pure marker; real serde adds the
+/// `serialize` method driven by a `Serializer`.
+pub trait Serialize {}
+
+/// A type that can be deserialized from borrowed data with lifetime `'de`.
+///
+/// In this offline stub the trait is a pure marker; real serde adds the
+/// `deserialize` method driven by a `Deserializer`.
+pub trait Deserialize<'de>: Sized {}
+
+macro_rules! impl_markers {
+    ($($ty:ty),* $(,)?) => {$(
+        impl Serialize for $ty {}
+        impl<'de> Deserialize<'de> for $ty {}
+    )*};
+}
+
+impl_markers!(
+    u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64, bool, char, String
+);
+
+impl Serialize for str {}
+
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {}
+
+impl<T: Serialize> Serialize for Option<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {}
+
+impl<T: Serialize> Serialize for [T] {}
+impl<T: Serialize, const N: usize> Serialize for [T; N] {}
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {}
+impl<'de, A: Deserialize<'de>, B: Deserialize<'de>> Deserialize<'de> for (A, B) {}
+
+impl<T: Serialize + ?Sized> Serialize for &T {}
+impl<T: Serialize + ?Sized> Serialize for Box<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {}
+
+impl<K: Serialize, V: Serialize, S> Serialize for std::collections::HashMap<K, V, S> {}
+impl<'de, K, V, S> Deserialize<'de> for std::collections::HashMap<K, V, S>
+where
+    K: Deserialize<'de>,
+    V: Deserialize<'de>,
+    S: Default,
+{
+}
+
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {}
+impl<'de, K: Deserialize<'de>, V: Deserialize<'de>> Deserialize<'de>
+    for std::collections::BTreeMap<K, V>
+{
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{Deserialize, Serialize};
+
+    #[derive(Serialize, Deserialize, Debug, PartialEq)]
+    struct Plain {
+        a: u32,
+        b: f64,
+    }
+
+    #[derive(Serialize, Deserialize, Debug, PartialEq)]
+    #[allow(dead_code)]
+    enum Shape {
+        Push { from: u32 },
+        Reply(u64),
+        Unit,
+    }
+
+    fn assert_serialize<T: Serialize>() {}
+    fn assert_deserialize<T: for<'de> Deserialize<'de>>() {}
+
+    #[test]
+    fn derives_produce_usable_impls() {
+        assert_serialize::<Plain>();
+        assert_deserialize::<Plain>();
+        assert_serialize::<Shape>();
+        assert_deserialize::<Shape>();
+        assert_serialize::<Vec<Plain>>();
+        assert_deserialize::<Option<Shape>>();
+    }
+}

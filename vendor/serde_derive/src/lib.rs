@@ -1,0 +1,64 @@
+//! Derive macros for the offline `serde` stub.
+//!
+//! The stub traits are pure markers, so the derives only need to find the
+//! type's name and emit an empty `impl`. A hand-rolled token scan replaces
+//! `syn`/`quote` (unavailable offline); it supports any non-generic `struct`
+//! or `enum`, which covers every serde-derived type in this workspace.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the identifier that names the derived type: the first identifier
+/// following the `struct` or `enum` keyword at the top level of the item.
+fn type_name(input: TokenStream) -> String {
+    let mut tokens = input.into_iter();
+    while let Some(token) = tokens.next() {
+        if let TokenTree::Ident(ident) = &token {
+            let word = ident.to_string();
+            if word == "struct" || word == "enum" {
+                for next in tokens.by_ref() {
+                    if let TokenTree::Ident(name) = next {
+                        return name.to_string();
+                    }
+                }
+            }
+        }
+    }
+    panic!("serde_derive stub: expected a struct or enum item");
+}
+
+fn assert_not_generic(name: &str, input: &TokenStream) {
+    let mut after_name = false;
+    for token in input.clone() {
+        match &token {
+            TokenTree::Ident(ident) if ident.to_string() == *name => after_name = true,
+            TokenTree::Punct(punct) if after_name && punct.as_char() == '<' => {
+                panic!(
+                    "serde_derive stub: generic type `{name}` is not supported; \
+                     write the marker impls by hand"
+                );
+            }
+            TokenTree::Group(_) | TokenTree::Punct(_) if after_name => break,
+            _ => {}
+        }
+    }
+}
+
+/// Derives the stub `serde::Serialize` marker impl.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input.clone());
+    assert_not_generic(&name, &input);
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .expect("generated impl must parse")
+}
+
+/// Derives the stub `serde::Deserialize` marker impl.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input.clone());
+    assert_not_generic(&name, &input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("generated impl must parse")
+}
