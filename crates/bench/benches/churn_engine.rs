@@ -1,0 +1,82 @@
+//! P2 — churn-engine throughput: cycles/second and arena footprint of the
+//! slot-reclaiming cycle engine under the Figure 4 oscillation at several
+//! scales. No counterpart in the paper (which reports no wall-clock numbers);
+//! this is the engine-health benchmark behind the "full-scale Figure 4" runs.
+//!
+//! Set `GOSSIP_CHURN_FULL=1` to append the paper-scale row (90 000–110 000
+//! nodes, 1 000 cycles — tens of seconds in release mode).
+
+use gossip_analysis::Table;
+use gossip_bench::{env_u64, env_usize, print_header};
+use gossip_sim::runner::{ChurnReport, ChurnRunner, SizeEstimationScenario};
+
+fn run_scale(base_nodes: usize, cycles: usize, seed: u64) -> (SizeEstimationScenario, ChurnReport) {
+    let scenario = if base_nodes == 100_000 {
+        SizeEstimationScenario {
+            total_cycles: cycles,
+            ..SizeEstimationScenario::figure4(seed)
+        }
+    } else {
+        SizeEstimationScenario::figure4_scaled(base_nodes, cycles, seed)
+    };
+    let report = ChurnRunner::new(scenario)
+        .run()
+        .expect("scenario configuration is valid");
+    (scenario, report)
+}
+
+fn main() {
+    let cycles = env_usize("GOSSIP_CHURN_CYCLES", 1_000);
+    let seed = env_u64("GOSSIP_BENCH_SEED", 20040102);
+    let full = env_usize("GOSSIP_CHURN_FULL", 0) == 1;
+
+    print_header(
+        "churn_engine",
+        "engine throughput (beyond the paper)",
+        &format!(
+            "Cycles/second and node-arena footprint of the cycle engine driving the \
+             Figure 4 oscillation (±10% size, 0.1% per-cycle fluctuation) for {cycles} \
+             cycles. The arena bound column is max_size + 2*fluctuation: exceeding it \
+             would mean the free list leaks. Set GOSSIP_CHURN_FULL=1 for the \
+             100000-node paper-scale row."
+        ),
+    );
+
+    let mut scales = vec![1_000usize, 10_000];
+    if full {
+        scales.push(100_000);
+    }
+
+    let mut table = Table::new(vec![
+        "base size",
+        "cycles",
+        "cycles/s",
+        "elapsed (s)",
+        "peak live",
+        "peak slots",
+        "slot bound",
+        "tracking error",
+    ]);
+    for base in scales {
+        let (scenario, report) = run_scale(base, cycles, seed);
+        let bound = scenario.churn.max_size + 2 * scenario.churn.fluctuation_per_cycle;
+        assert!(
+            report.peak_slot_capacity <= bound,
+            "arena leaked at base size {base}: {} > {bound}",
+            report.peak_slot_capacity
+        );
+        table.add_row(vec![
+            base.to_string(),
+            report.cycles.to_string(),
+            format!("{:.1}", report.cycles_per_second),
+            format!("{:.2}", report.elapsed_seconds),
+            report.peak_live_nodes.to_string(),
+            report.peak_slot_capacity.to_string(),
+            bound.to_string(),
+            report
+                .mean_tracking_error()
+                .map_or("n/a".to_string(), |e| format!("{:.2}%", e * 100.0)),
+        ]);
+    }
+    println!("{}", table.to_aligned_text());
+}

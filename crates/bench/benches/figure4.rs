@@ -4,7 +4,6 @@
 use gossip_analysis::{Series, Table};
 use gossip_bench::{env_u64, env_usize, print_header};
 use gossip_sim::runner::SizeEstimationScenario;
-use gossip_sim::ChurnSchedule;
 
 fn main() {
     let base_nodes = env_usize("GOSSIP_FIG4_NODES", 20_000);
@@ -24,7 +23,6 @@ fn main() {
 
     let scenario = if base_nodes == 100_000 {
         SizeEstimationScenario {
-            churn: ChurnSchedule::figure4(),
             total_cycles: cycles,
             ..SizeEstimationScenario::figure4(seed)
         }

@@ -23,6 +23,8 @@
 //! | `GOSSIP_FIG3B_NODES` | network size for Figure 3b | 100000 | 100000 |
 //! | `GOSSIP_FIG4_NODES` | base network size for Figure 4 | 20000 | 100000 |
 //! | `GOSSIP_FIG4_CYCLES` | simulated cycles for Figure 4 | 600 | 1000 |
+//! | `GOSSIP_CHURN_CYCLES` | cycles for the churn-engine throughput bench | 1000 | 1000 |
+//! | `GOSSIP_CHURN_FULL` | set to `1` to add the 100000-node churn-engine row | 0 | 1 |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -3,6 +3,7 @@
 use crate::{codec, NetError, Transport};
 use aggregate_core::GossipMessage;
 use overlay_topology::NodeId;
+use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::net::{SocketAddr, UdpSocket};
 use std::time::Duration;
@@ -30,6 +31,12 @@ pub struct UdpTransport {
     id: NodeId,
     socket: UdpSocket,
     address_book: HashMap<u32, SocketAddr>,
+    // Nanoseconds of the read timeout currently programmed into the socket
+    // (0 = nothing cached). Receive loops call recv_timeout with the same
+    // duration over and over; caching it saves one setsockopt syscall per
+    // receive. The mutex keeps the transport `Sync` and is held across the
+    // setsockopt so cache and socket can never disagree under concurrency.
+    read_timeout_nanos: Mutex<u64>,
 }
 
 impl UdpTransport {
@@ -52,6 +59,7 @@ impl UdpTransport {
                 .into_iter()
                 .map(|(node, addr)| (node.as_u32(), addr))
                 .collect(),
+            read_timeout_nanos: Mutex::new(0),
         })
     }
 
@@ -99,7 +107,17 @@ impl Transport for UdpTransport {
     }
 
     fn recv_timeout(&self, timeout: Duration) -> Result<Option<GossipMessage>, NetError> {
-        self.socket.set_read_timeout(Some(timeout))?;
+        // Only touch the socket option when the requested timeout changed.
+        // Timeouts that don't fit the cache key (0, or ≥ ~584 years) always
+        // take the syscall path, preserving the socket's error behaviour.
+        {
+            let key = u64::try_from(timeout.as_nanos()).unwrap_or(0);
+            let mut cached = self.read_timeout_nanos.lock();
+            if key == 0 || *cached != key {
+                self.socket.set_read_timeout(Some(timeout))?;
+                *cached = key;
+            }
+        }
         let mut buffer = [0u8; codec::FRAME_LEN];
         match self.socket.recv_from(&mut buffer) {
             Ok((len, _from)) => Ok(Some(codec::decode(&buffer[..len])?)),
@@ -180,6 +198,41 @@ mod tests {
             a.send(&to_unknown).unwrap_err(),
             NetError::UnknownPeer { peer: 9 }
         ));
+    }
+
+    #[test]
+    fn cached_read_timeout_still_honours_repeated_and_changed_timeouts() {
+        let (a, b) = bind_pair();
+        // Same timeout over and over: only the first receive pays the
+        // setsockopt; the cached path must still time out correctly.
+        for _ in 0..3 {
+            assert_eq!(a.recv_timeout(Duration::from_millis(5)).unwrap(), None);
+        }
+        assert_eq!(
+            *a.read_timeout_nanos.lock(),
+            Duration::from_millis(5).as_nanos() as u64
+        );
+        // Changing the timeout reprograms the socket and still delivers.
+        let push = GossipMessage::Push {
+            from: NodeId::new(1),
+            to: NodeId::new(0),
+            instance: InstanceTag::DEFAULT,
+            epoch: 1,
+            value: 2.0,
+        };
+        b.send(&push).unwrap();
+        assert_eq!(
+            a.recv_timeout(Duration::from_millis(500)).unwrap(),
+            Some(push)
+        );
+        assert_eq!(
+            *a.read_timeout_nanos.lock(),
+            Duration::from_millis(500).as_nanos() as u64
+        );
+        // The cache must not cost the transport its shared-reference
+        // thread-safety.
+        fn assert_sync<T: Sync>() {}
+        assert_sync::<UdpTransport>();
     }
 
     #[test]

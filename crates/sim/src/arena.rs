@@ -1,0 +1,354 @@
+//! Slot-reclaiming node arena with generation-tagged identifiers.
+//!
+//! The Figure 4 scenario churns ~200 nodes per cycle forever: a naive
+//! `Vec<Option<Node>>` arena that always appends on join and leaves a `None`
+//! hole on departure leaks one slot per departure (≈100 000 dead slots per
+//! 500-cycle oscillation period) and its node indices grow without bound.
+//! [`NodeArena`] fixes both: departed slots go on a free list and are reused
+//! by the next join, so capacity stays bounded by the peak number of
+//! simultaneously live nodes (plus the joins that land before the same
+//! cycle's departures).
+//!
+//! Reusing a slot raises an aliasing question: a stale [`NodeId`] held from a
+//! previous occupant must not resolve to the new occupant. The arena
+//! therefore packs a per-slot *generation* into the identifier itself —
+//! the low [`SLOT_BITS`] bits of the raw `u32` are the slot index, the high
+//! bits count how many times the slot has been recycled. Identifiers of the
+//! initial population are generation 0, i.e. plain indices, so existing
+//! `NodeId::new(i)` call sites keep working.
+
+use aggregate_core::node::ProtocolNode;
+use overlay_topology::NodeId;
+
+/// Number of low bits of a raw [`NodeId`] that address the slot; the
+/// remaining high bits hold the slot's generation.
+///
+/// 21 bits ≈ 2 M simultaneously live nodes — an order of magnitude above the
+/// paper's 110 000-node peak — leaving 11 generation bits (2 048 reuses per
+/// slot before the counter wraps; with departures spread uniformly over the
+/// arena this covers hundreds of millions of churn events per run).
+pub const SLOT_BITS: u32 = 21;
+
+/// Maximum number of simultaneously allocated slots.
+pub const MAX_SLOTS: usize = 1 << SLOT_BITS;
+
+const SLOT_MASK: u32 = (1 << SLOT_BITS) - 1;
+const GENERATION_LIMIT: u32 = 1 << (32 - SLOT_BITS);
+
+/// Sentinel for "slot is not live" in the slot → live-position map.
+const NOT_LIVE: u32 = u32::MAX;
+
+/// Packs a slot index and generation into a [`NodeId`].
+#[inline]
+fn pack(slot: u32, generation: u32) -> NodeId {
+    NodeId::from_u32((generation << SLOT_BITS) | slot)
+}
+
+/// Splits a [`NodeId`] into `(slot, generation)`.
+#[inline]
+fn unpack(id: NodeId) -> (u32, u32) {
+    let raw = id.as_u32();
+    (raw & SLOT_MASK, raw >> SLOT_BITS)
+}
+
+#[derive(Debug)]
+struct Slot {
+    generation: u32,
+    node: Option<ProtocolNode>,
+}
+
+/// A generational arena of [`ProtocolNode`]s with O(1) insert, remove and
+/// uniform sampling over the live set.
+///
+/// * `slots` owns the node state; a departed slot keeps its generation and
+///   goes on `free` for reuse.
+/// * `live` is a dense array of the currently live slot indices — the
+///   iteration and sampling surface for the per-cycle active phase.
+/// * `live_pos` maps a slot index back to its position in `live` so removal
+///   by identifier is O(1) swap-remove rather than a linear scan.
+#[derive(Debug, Default)]
+pub struct NodeArena {
+    slots: Vec<Slot>,
+    free: Vec<u32>,
+    live: Vec<u32>,
+    live_pos: Vec<u32>,
+}
+
+impl NodeArena {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        NodeArena::default()
+    }
+
+    /// Number of live nodes.
+    pub fn len(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Whether no node is live.
+    pub fn is_empty(&self) -> bool {
+        self.live.is_empty()
+    }
+
+    /// Number of allocated slots (live + reusable). This is the resident
+    /// footprint of the arena; the churn tests assert it stays bounded by the
+    /// peak live size plus the per-cycle churn.
+    pub fn slot_capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of dead slots currently awaiting reuse.
+    pub fn free_slots(&self) -> usize {
+        self.free.len()
+    }
+
+    /// The dense array of live slot indices, in arena order.
+    pub fn live_slots(&self) -> &[u32] {
+        &self.live
+    }
+
+    /// The identifier of the current occupant of `slot` (which must be live).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `slot` is out of bounds; returns a stale-generation id
+    /// only if the caller raced an arena mutation, which the engine never
+    /// does within a cycle.
+    pub fn id_at_slot(&self, slot: u32) -> NodeId {
+        pack(slot, self.slots[slot as usize].generation)
+    }
+
+    /// Read access to the live occupant of `slot`, if any.
+    pub fn node_at_slot(&self, slot: u32) -> Option<&ProtocolNode> {
+        self.slots.get(slot as usize)?.node.as_ref()
+    }
+
+    /// Mutable access to the live occupant of `slot`, if any.
+    pub fn node_at_slot_mut(&mut self, slot: u32) -> Option<&mut ProtocolNode> {
+        self.slots.get_mut(slot as usize)?.node.as_mut()
+    }
+
+    /// Resolves an identifier to its node — `None` when the slot is dead *or*
+    /// the identifier's generation is stale (a previous occupant).
+    pub fn get(&self, id: NodeId) -> Option<&ProtocolNode> {
+        let (slot, generation) = unpack(id);
+        let entry = self.slots.get(slot as usize)?;
+        if entry.generation != generation {
+            return None;
+        }
+        entry.node.as_ref()
+    }
+
+    /// Mutable variant of [`NodeArena::get`].
+    pub fn get_mut(&mut self, id: NodeId) -> Option<&mut ProtocolNode> {
+        let (slot, generation) = unpack(id);
+        let entry = self.slots.get_mut(slot as usize)?;
+        if entry.generation != generation {
+            return None;
+        }
+        entry.node.as_mut()
+    }
+
+    /// Inserts a node, reusing a free slot when one exists. The constructor
+    /// closure receives the identifier the node will live under (slot +
+    /// fresh generation).
+    ///
+    /// # Panics
+    ///
+    /// Panics when all [`MAX_SLOTS`] slots are simultaneously live.
+    pub fn insert(&mut self, make_node: impl FnOnce(NodeId) -> ProtocolNode) -> NodeId {
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                // Recycled slot: bump the generation so identifiers of the
+                // previous occupant no longer resolve. Wrap-around after
+                // GENERATION_LIMIT reuses is documented and accepted.
+                let entry = &mut self.slots[slot as usize];
+                entry.generation = (entry.generation + 1) % GENERATION_LIMIT;
+                slot
+            }
+            None => {
+                assert!(
+                    self.slots.len() < MAX_SLOTS,
+                    "node arena exhausted: {MAX_SLOTS} simultaneously live slots"
+                );
+                self.slots.push(Slot {
+                    generation: 0,
+                    node: None,
+                });
+                self.live_pos.push(NOT_LIVE);
+                (self.slots.len() - 1) as u32
+            }
+        };
+        let id = pack(slot, self.slots[slot as usize].generation);
+        self.slots[slot as usize].node = Some(make_node(id));
+        self.live_pos[slot as usize] = self.live.len() as u32;
+        self.live.push(slot);
+        id
+    }
+
+    /// Removes the node with the given identifier. Returns `false` when the
+    /// identifier is stale or the slot is already dead.
+    pub fn remove(&mut self, id: NodeId) -> bool {
+        let (slot, generation) = unpack(id);
+        match self.slots.get(slot as usize) {
+            Some(entry) if entry.generation == generation && entry.node.is_some() => {
+                self.remove_slot(slot);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Removes the live node at position `pos` of the dense live array
+    /// (O(1) swap-remove) — the primitive behind uniform random departures.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `pos` is out of bounds.
+    pub fn remove_live_at(&mut self, pos: usize) {
+        let slot = self.live[pos];
+        self.remove_slot(slot);
+    }
+
+    fn remove_slot(&mut self, slot: u32) {
+        let pos = self.live_pos[slot as usize];
+        debug_assert_ne!(pos, NOT_LIVE, "removing a slot that is not live");
+        let last = *self.live.last().expect("live set contains the slot");
+        self.live.swap_remove(pos as usize);
+        if last != slot {
+            self.live_pos[last as usize] = pos;
+        }
+        self.live_pos[slot as usize] = NOT_LIVE;
+        self.slots[slot as usize].node = None;
+        self.free.push(slot);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aggregate_core::ProtocolConfig;
+
+    fn make(id: NodeId, value: f64) -> ProtocolNode {
+        ProtocolNode::new(id, ProtocolConfig::default(), value)
+    }
+
+    fn arena_with(n: usize) -> (NodeArena, Vec<NodeId>) {
+        let mut arena = NodeArena::new();
+        let ids = (0..n)
+            .map(|i| arena.insert(|id| make(id, i as f64)))
+            .collect();
+        (arena, ids)
+    }
+
+    #[test]
+    fn initial_population_gets_dense_generation_zero_ids() {
+        let (arena, ids) = arena_with(4);
+        assert_eq!(arena.len(), 4);
+        assert_eq!(arena.slot_capacity(), 4);
+        assert_eq!(arena.free_slots(), 0);
+        for (i, id) in ids.iter().enumerate() {
+            assert_eq!(id.index(), i, "generation 0 ids are plain indices");
+            assert_eq!(arena.get(*id).unwrap().local_value(), i as f64);
+        }
+    }
+
+    #[test]
+    fn removal_feeds_the_free_list_and_insert_reuses_it() {
+        let (mut arena, ids) = arena_with(3);
+        assert!(arena.remove(ids[1]));
+        assert!(!arena.remove(ids[1]), "double removal is rejected");
+        assert_eq!(arena.len(), 2);
+        assert_eq!(arena.free_slots(), 1);
+
+        let newcomer = arena.insert(|id| make(id, 42.0));
+        assert_eq!(arena.slot_capacity(), 3, "slot was reused, not appended");
+        assert_eq!(arena.free_slots(), 0);
+        let (slot, generation) = unpack(newcomer);
+        assert_eq!(slot, 1);
+        assert_eq!(generation, 1);
+        assert_eq!(arena.get(newcomer).unwrap().local_value(), 42.0);
+    }
+
+    #[test]
+    fn stale_ids_do_not_alias_the_new_occupant() {
+        let (mut arena, ids) = arena_with(2);
+        let stale = ids[0];
+        arena.remove(stale);
+        let fresh = arena.insert(|id| make(id, 7.0));
+        assert_ne!(stale, fresh);
+        assert!(arena.get(stale).is_none(), "stale id must not resolve");
+        assert!(
+            !arena.remove(stale),
+            "stale id must not remove the newcomer"
+        );
+        assert!(arena.get(fresh).is_some());
+        assert_eq!(arena.len(), 2);
+    }
+
+    #[test]
+    fn live_positions_stay_consistent_under_swap_remove() {
+        let (mut arena, ids) = arena_with(6);
+        arena.remove(ids[0]);
+        arena.remove(ids[3]);
+        arena.remove_live_at(0);
+        assert_eq!(arena.len(), 3);
+        // Every live slot maps back to its own position.
+        for (pos, &slot) in arena.live_slots().iter().enumerate() {
+            assert_eq!(arena.live_pos[slot as usize] as usize, pos);
+            assert!(arena.node_at_slot(slot).is_some());
+            assert!(arena.get(arena.id_at_slot(slot)).is_some());
+        }
+        // The removed-by-position node is gone as well.
+        let live_values: Vec<f64> = arena
+            .live_slots()
+            .iter()
+            .map(|&slot| arena.node_at_slot(slot).unwrap().local_value())
+            .collect();
+        assert_eq!(live_values.len(), 3);
+    }
+
+    #[test]
+    fn sustained_churn_keeps_capacity_bounded() {
+        let (mut arena, _) = arena_with(100);
+        // 1 000 cycles of 10 joins + 10 departures: the leaky arena would
+        // grow to 10 100 slots; the free-list arena stays at ~110.
+        for round in 0..1_000 {
+            for i in 0..10 {
+                arena.insert(|id| make(id, (round * 10 + i) as f64));
+            }
+            for _ in 0..10 {
+                arena.remove_live_at(round % arena.len());
+            }
+        }
+        assert_eq!(arena.len(), 100);
+        assert!(
+            arena.slot_capacity() <= 110,
+            "capacity {} must stay bounded by peak live + per-round joins",
+            arena.slot_capacity()
+        );
+    }
+
+    #[test]
+    fn generation_wraps_instead_of_overflowing() {
+        let mut arena = NodeArena::new();
+        let mut id = arena.insert(|id| make(id, 0.0));
+        for _ in 0..GENERATION_LIMIT {
+            arena.remove(id);
+            id = arena.insert(|id| make(id, 0.0));
+        }
+        // After GENERATION_LIMIT reuses the generation is back to its start
+        // value + 1; the arena still has exactly one slot and one live node.
+        assert_eq!(arena.slot_capacity(), 1);
+        assert_eq!(arena.len(), 1);
+        assert!(arena.get(id).is_some());
+    }
+
+    #[test]
+    fn pack_unpack_round_trip() {
+        for (slot, generation) in [(0, 0), (1, 1), (SLOT_MASK, 5), (123_456, 2_047)] {
+            let id = pack(slot, generation);
+            assert_eq!(unpack(id), (slot, generation));
+        }
+    }
+}

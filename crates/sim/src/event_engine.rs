@@ -18,6 +18,42 @@ use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::fmt;
+
+/// A parameter of [`AsyncConfig`] or [`WakeupDistribution`] that would break
+/// the event queue: negative, zero (where forbidden), NaN or infinite values
+/// schedule events backwards in time or at times that defeat the queue's
+/// ordering (NaN compares as `Equal` in [`QueuedEvent`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AsyncConfigError {
+    /// `message_latency` is negative, NaN or infinite.
+    InvalidLatency {
+        /// The rejected latency value.
+        value: f64,
+    },
+    /// A wakeup-distribution parameter is non-positive, NaN or infinite.
+    InvalidWakeup {
+        /// Which parameter was rejected (`"period"` or `"mean"`).
+        parameter: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for AsyncConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            AsyncConfigError::InvalidLatency { value } => {
+                write!(f, "message latency {value} must be finite and ≥ 0")
+            }
+            AsyncConfigError::InvalidWakeup { parameter, value } => {
+                write!(f, "wakeup {parameter} {value} must be finite and > 0")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AsyncConfigError {}
 
 /// How a node chooses the waiting time between its own exchange initiations.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -38,6 +74,24 @@ pub enum WakeupDistribution {
 }
 
 impl WakeupDistribution {
+    /// Validates the distribution parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AsyncConfigError::InvalidWakeup`] when the period or mean is
+    /// non-positive, NaN or infinite — any of which would schedule wakeups
+    /// backwards in time or break the event queue's ordering.
+    pub fn validate(&self) -> Result<(), AsyncConfigError> {
+        let (parameter, value) = match *self {
+            WakeupDistribution::FixedPeriod { period } => ("period", period),
+            WakeupDistribution::Exponential { mean } => ("mean", mean),
+        };
+        if !value.is_finite() || value <= 0.0 {
+            return Err(AsyncConfigError::InvalidWakeup { parameter, value });
+        }
+        Ok(())
+    }
+
     fn first_wakeup<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
         match *self {
             WakeupDistribution::FixedPeriod { period } => rng.gen_range(0.0..period),
@@ -58,6 +112,22 @@ fn sample_exponential<R: Rng + ?Sized>(mean: f64, rng: &mut R) -> f64 {
     -mean * u.ln()
 }
 
+/// Smallest `k ≥ 1` whose grid point `k * interval` lies strictly after
+/// `now` — *as computed in floating point*, which is how the sampling loop
+/// will compare it. The division only seeds the search; the `while` guards
+/// correct for rounding in either direction so a resumed run neither
+/// re-emits the previous call's last grid point nor skips one.
+fn first_sample_index_after(now: f64, interval: f64) -> u64 {
+    let mut k = ((now / interval).floor().max(0.0) as u64).saturating_add(1);
+    while k > 1 && (k - 1) as f64 * interval > now {
+        k -= 1;
+    }
+    while k as f64 * interval <= now {
+        k += 1;
+    }
+    k
+}
+
 /// Configuration of the asynchronous engine.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AsyncConfig {
@@ -69,6 +139,23 @@ pub struct AsyncConfig {
     /// One-way message latency in simulated time units (applied to pushes and
     /// replies independently).
     pub message_latency: f64,
+}
+
+impl AsyncConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AsyncConfigError`] when the message latency is negative, NaN
+    /// or infinite, or the wakeup distribution's parameters are invalid.
+    pub fn validate(&self) -> Result<(), AsyncConfigError> {
+        if !self.message_latency.is_finite() || self.message_latency < 0.0 {
+            return Err(AsyncConfigError::InvalidLatency {
+                value: self.message_latency,
+            });
+        }
+        self.wakeup.validate()
+    }
 }
 
 /// A snapshot of the network state taken by [`AsyncSimulation::run_until`].
@@ -127,7 +214,18 @@ pub struct AsyncSimulation {
 impl AsyncSimulation {
     /// Creates the simulation with one node per initial value; every node gets
     /// a randomly phased first wakeup so there is no global synchronisation.
-    pub fn new(config: AsyncConfig, initial_values: &[f64], seed: u64) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AsyncConfigError`] when the configuration's latency or
+    /// wakeup parameters are invalid (negative, zero where forbidden, NaN or
+    /// infinite) — accepted, they would corrupt the event-queue ordering.
+    pub fn new(
+        config: AsyncConfig,
+        initial_values: &[f64],
+        seed: u64,
+    ) -> Result<Self, AsyncConfigError> {
+        config.validate()?;
         let nodes: Vec<ProtocolNode> = initial_values
             .iter()
             .enumerate()
@@ -145,7 +243,7 @@ impl AsyncSimulation {
             let t = sim.config.wakeup.first_wakeup(&mut sim.rng);
             sim.schedule(t, Event::Wakeup(NodeId::new(i)));
         }
-        sim
+        Ok(sim)
     }
 
     /// Current simulated time.
@@ -160,9 +258,28 @@ impl AsyncSimulation {
 
     /// Runs the simulation until `end_time`, taking a [`TimeSample`] every
     /// `sample_interval` time units.
+    ///
+    /// The call is resumable: a second invocation continues from the current
+    /// [`AsyncSimulation::now`], and sampling restarts at the first grid
+    /// point `k * sample_interval` *after* `now` rather than flooding the
+    /// caller with stale samples for already-elapsed times. Sample times are
+    /// always computed as `k * sample_interval` (never by accumulation), so
+    /// a run split across calls lands on bit-identical grid points to an
+    /// uninterrupted one even for intervals that are not exactly
+    /// representable in floating point.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `sample_interval` is not finite and positive (it would
+    /// loop forever otherwise).
     pub fn run_until(&mut self, end_time: f64, sample_interval: f64) -> Vec<TimeSample> {
+        assert!(
+            sample_interval.is_finite() && sample_interval > 0.0,
+            "sample interval {sample_interval} must be finite and > 0"
+        );
         let mut samples = Vec::new();
-        let mut next_sample = sample_interval;
+        let mut sample_index = first_sample_index_after(self.now, sample_interval);
+        let mut next_sample = sample_index as f64 * sample_interval;
         while let Some(Reverse(entry)) = self.queue.peek().copied() {
             if entry.time > end_time {
                 break;
@@ -170,14 +287,16 @@ impl AsyncSimulation {
             self.queue.pop();
             while entry.time >= next_sample && next_sample <= end_time {
                 samples.push(self.sample(next_sample));
-                next_sample += sample_interval;
+                sample_index += 1;
+                next_sample = sample_index as f64 * sample_interval;
             }
             self.now = entry.time;
             self.dispatch(entry.event);
         }
         while next_sample <= end_time {
             samples.push(self.sample(next_sample));
-            next_sample += sample_interval;
+            sample_index += 1;
+            next_sample = sample_index as f64 * sample_interval;
         }
         self.now = end_time;
         samples
@@ -263,7 +382,8 @@ mod tests {
             config(WakeupDistribution::FixedPeriod { period: 1.0 }),
             &values,
             3,
-        );
+        )
+        .unwrap();
         let samples = sim.run_until(20.0, 1.0);
         assert_eq!(samples.len(), 20);
         let last = samples.last().unwrap();
@@ -279,7 +399,8 @@ mod tests {
             config(WakeupDistribution::FixedPeriod { period: 1.0 }),
             &values,
             5,
-        );
+        )
+        .unwrap();
         let samples = sim.run_until(10.0, 1.0);
         // Each unit of time is one "cycle worth" of wakeups, so consecutive
         // samples should show a clear geometric decrease.
@@ -306,7 +427,8 @@ mod tests {
             config(WakeupDistribution::Exponential { mean: 1.0 }),
             &values,
             7,
-        );
+        )
+        .unwrap();
         let samples = sim.run_until(25.0, 5.0);
         let last = samples.last().unwrap();
         assert!(last.variance < 1e-2);
@@ -323,7 +445,8 @@ mod tests {
             config(WakeupDistribution::FixedPeriod { period: 1.0 }),
             &values,
             11,
-        );
+        )
+        .unwrap();
         let samples = sim.run_until(15.0, 15.0);
         assert!((samples.last().unwrap().mean - true_mean).abs() < 0.75);
     }
@@ -334,7 +457,8 @@ mod tests {
             config(WakeupDistribution::FixedPeriod { period: 1.0 }),
             &[42.0],
             13,
-        );
+        )
+        .unwrap();
         let samples = single.run_until(5.0, 1.0);
         assert_eq!(samples.len(), 5);
         assert_eq!(samples.last().unwrap().mean, 42.0);
@@ -344,10 +468,122 @@ mod tests {
             config(WakeupDistribution::Exponential { mean: 1.0 }),
             &[],
             17,
-        );
+        )
+        .unwrap();
         let samples = empty.run_until(2.0, 1.0);
         assert_eq!(samples.len(), 2);
         assert_eq!(samples.last().unwrap().mean, 0.0);
+    }
+
+    #[test]
+    fn run_until_resumes_without_replaying_stale_samples() {
+        // Regression: a second run_until used to restart next_sample at
+        // sample_interval, flooding the caller with samples for times that
+        // had already elapsed.
+        let values: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let cfg = config(WakeupDistribution::FixedPeriod { period: 1.0 });
+        let mut split = AsyncSimulation::new(cfg, &values, 19).unwrap();
+        let mut first = split.run_until(10.0, 1.0);
+        assert_eq!(first.len(), 10);
+        let second = split.run_until(20.0, 1.0);
+        assert_eq!(second.len(), 10, "resume must not replay samples 1..=10");
+        assert!(second.iter().all(|s| s.time > 10.0));
+        assert!((second[0].time - 11.0).abs() < 1e-9);
+
+        // The split run is observably identical to one uninterrupted run:
+        // same event processing, same sample times, same values.
+        let mut whole = AsyncSimulation::new(cfg, &values, 19).unwrap();
+        let reference = whole.run_until(20.0, 1.0);
+        first.extend(second);
+        assert_eq!(first, reference);
+
+        // Resuming off the sample grid starts at the next grid point.
+        let mut offgrid = AsyncSimulation::new(cfg, &values, 23).unwrap();
+        offgrid.run_until(2.5, 1.0);
+        let resumed = offgrid.run_until(4.0, 1.0);
+        let times: Vec<f64> = resumed.iter().map(|s| s.time).collect();
+        assert_eq!(times, vec![3.0, 4.0]);
+
+        // Intervals with no exact binary representation (0.7, 0.1) must not
+        // duplicate or drop grid samples across the split: sample times are
+        // k*interval in both paths, never an accumulated sum.
+        for (interval, split_at, end) in [(0.7, 3.5, 7.0), (0.1, 2.0, 4.0)] {
+            let mut split = AsyncSimulation::new(cfg, &values, 29).unwrap();
+            let mut joined = split.run_until(split_at, interval);
+            joined.extend(split.run_until(end, interval));
+            let mut whole = AsyncSimulation::new(cfg, &values, 29).unwrap();
+            assert_eq!(
+                joined,
+                whole.run_until(end, interval),
+                "split at {split_at} with interval {interval} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn first_sample_index_is_exact_on_awkward_grids() {
+        // The grid point at the returned index is strictly after `now`, and
+        // the one before it is not — evaluated in f64, like the sampler.
+        for (now, interval) in [
+            (0.0, 1.0),
+            (3.5, 0.7),
+            (2.0, 0.1),
+            (20.0, 1.0),
+            (0.3, 0.1),
+            (1e9, 0.1),
+        ] {
+            let k = first_sample_index_after(now, interval);
+            assert!(k as f64 * interval > now, "k*i must exceed now={now}");
+            if k > 1 {
+                assert!(
+                    (k - 1) as f64 * interval <= now,
+                    "(k-1)*i must not exceed now={now} (interval {interval})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_configurations_are_rejected_with_typed_errors() {
+        let values = [1.0, 2.0];
+        for (wakeup, latency) in [
+            (WakeupDistribution::FixedPeriod { period: 1.0 }, -0.5),
+            (WakeupDistribution::FixedPeriod { period: 1.0 }, f64::NAN),
+            (
+                WakeupDistribution::FixedPeriod { period: 1.0 },
+                f64::INFINITY,
+            ),
+        ] {
+            let bad = AsyncConfig {
+                message_latency: latency,
+                ..config(wakeup)
+            };
+            assert!(matches!(
+                AsyncSimulation::new(bad, &values, 1),
+                Err(AsyncConfigError::InvalidLatency { .. })
+            ));
+        }
+        for wakeup in [
+            WakeupDistribution::FixedPeriod { period: 0.0 },
+            WakeupDistribution::FixedPeriod { period: -1.0 },
+            WakeupDistribution::FixedPeriod { period: f64::NAN },
+            WakeupDistribution::Exponential { mean: 0.0 },
+            WakeupDistribution::Exponential { mean: f64::NAN },
+            WakeupDistribution::Exponential {
+                mean: f64::INFINITY,
+            },
+        ] {
+            let err = AsyncSimulation::new(config(wakeup), &values, 1).unwrap_err();
+            assert!(matches!(err, AsyncConfigError::InvalidWakeup { .. }));
+            assert!(!err.to_string().is_empty());
+        }
+        // A zero latency is fine (instant delivery), as is a valid config.
+        let zero_latency = AsyncConfig {
+            message_latency: 0.0,
+            ..config(WakeupDistribution::FixedPeriod { period: 1.0 })
+        };
+        assert!(zero_latency.validate().is_ok());
+        assert!(AsyncSimulation::new(zero_latency, &values, 1).is_ok());
     }
 
     #[test]

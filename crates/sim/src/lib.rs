@@ -8,7 +8,9 @@
 //! * a **cycle-driven engine** ([`GossipSimulation`]) that drives real
 //!   [`aggregate_core::node::ProtocolNode`] state machines over a simulated
 //!   network with message loss, churn (joins/departures), epochs and
-//!   leader election — the engine behind the Figure 4 reproduction;
+//!   leader election — the engine behind the Figure 4 reproduction. Node
+//!   state lives in a slot-reclaiming, generation-tagged [`arena::NodeArena`],
+//!   so indefinite churn runs in memory bounded by the peak live size;
 //! * an **event-driven engine** ([`AsyncSimulation`]) with per-node clocks and
 //!   message latency, validating that convergence does not depend on the
 //!   synchronisation assumption of the analysis;
@@ -47,6 +49,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod arena;
 mod churn;
 mod conditions;
 mod engine;
@@ -58,6 +61,8 @@ mod values;
 pub use churn::ChurnSchedule;
 pub use conditions::NetworkConditions;
 pub use engine::{CycleSummary, GossipSimulation, SimulationConfig};
-pub use event_engine::{AsyncConfig, AsyncSimulation, TimeSample, WakeupDistribution};
+pub use event_engine::{
+    AsyncConfig, AsyncConfigError, AsyncSimulation, TimeSample, WakeupDistribution,
+};
 pub use rng::SeedSequence;
 pub use values::ValueDistribution;

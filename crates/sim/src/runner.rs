@@ -194,31 +194,119 @@ impl SizeEstimationScenario {
 
     /// Runs the scenario and returns one point per completed epoch.
     ///
+    /// Convenience wrapper over [`ChurnRunner`] that keeps only the
+    /// per-epoch estimation points.
+    ///
     /// # Errors
     ///
     /// Returns an error when the protocol configuration is invalid.
     pub fn run(&self) -> Result<Vec<SizeEstimationPoint>, AggregationError> {
+        Ok(ChurnRunner::new(*self).run()?.points)
+    }
+}
+
+/// Aggregate result of one end-to-end churn run: the Figure 4 estimation
+/// points plus the engine-health telemetry (throughput and arena footprint)
+/// that the full-scale runs and the CI smoke job report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChurnReport {
+    /// One point per completed epoch that produced size estimates.
+    pub points: Vec<SizeEstimationPoint>,
+    /// Number of cycles simulated.
+    pub cycles: usize,
+    /// Total joins applied by the schedule.
+    pub total_joins: usize,
+    /// Total departures applied by the schedule.
+    pub total_departures: usize,
+    /// Largest number of simultaneously live nodes observed.
+    pub peak_live_nodes: usize,
+    /// Live node count at the end of the run.
+    pub final_live_nodes: usize,
+    /// Node-arena slot capacity at the end of the run. Capacity never
+    /// shrinks, so this *is* the run's high-water mark: with the free-list
+    /// arena it stays ≤ peak live + one cycle's joins, where the pre-arena
+    /// engine grew it by every join ever made (~200 slots leaked per
+    /// Figure 4 cycle).
+    pub peak_slot_capacity: usize,
+    /// Wall-clock duration of the simulation loop, in seconds.
+    pub elapsed_seconds: f64,
+    /// Simulated cycles per wall-clock second.
+    pub cycles_per_second: f64,
+}
+
+impl ChurnReport {
+    /// Mean absolute relative error of the size estimate against the true
+    /// live size, skipping the bootstrap epoch (the paper's Figure 4 shows
+    /// the same one-epoch warm-up). `None` when fewer than two points exist.
+    pub fn mean_tracking_error(&self) -> Option<f64> {
+        let tracked: Vec<f64> = self
+            .points
+            .iter()
+            .skip(1)
+            .map(|p| (p.estimate_mean - p.actual_size as f64).abs() / p.actual_size as f64)
+            .collect();
+        if tracked.is_empty() {
+            None
+        } else {
+            Some(tracked.iter().sum::<f64>() / tracked.len() as f64)
+        }
+    }
+}
+
+/// Drives a [`ChurnSchedule`] end-to-end through the cycle engine: per-cycle
+/// joins (through the arena free list), uniform random departures, epoch
+/// restarts and size-estimate collection — the procedure behind Figure 4 at
+/// both scaled and full (90 000–110 000 node) scale.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChurnRunner {
+    /// The scenario to execute.
+    pub scenario: SizeEstimationScenario,
+}
+
+impl ChurnRunner {
+    /// Creates a runner for the given scenario.
+    pub fn new(scenario: SizeEstimationScenario) -> Self {
+        ChurnRunner { scenario }
+    }
+
+    /// Runs the scenario to completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the protocol configuration is invalid.
+    pub fn run(&self) -> Result<ChurnReport, AggregationError> {
+        let scenario = &self.scenario;
         let protocol = ProtocolConfig::builder()
-            .cycles_per_epoch(self.cycles_per_epoch)
+            .cycles_per_epoch(scenario.cycles_per_epoch)
             .late_join(LateJoinPolicy::FixedState(0.0))
             .build()?;
         let config = SimulationConfig {
             protocol,
-            conditions: NetworkConditions::with_message_loss(self.message_loss),
-            leader_policy: Some(self.leader_policy),
+            conditions: NetworkConditions::with_message_loss(scenario.message_loss),
+            leader_policy: Some(scenario.leader_policy),
         };
-        let initial_size = self.churn.target_size(0);
+        let initial_size = scenario.churn.target_size(0);
         let values = vec![0.0; initial_size];
-        let mut sim = GossipSimulation::new(config, &values, self.seed);
+        let mut sim = GossipSimulation::new(config, &values, scenario.seed);
+
         let mut points = Vec::new();
-        for cycle in 0..self.total_cycles {
+        let mut total_joins = 0usize;
+        let mut total_departures = 0usize;
+        let mut peak_live_nodes = sim.live_count();
+        let started = std::time::Instant::now();
+        for cycle in 0..scenario.total_cycles {
             // Apply churn before the cycle runs (joins wait for the next
             // epoch, departures are immediate).
-            let (joins, departures) = self.churn.changes_at(cycle);
+            let (joins, departures) = scenario.churn.changes_at(cycle);
             for _ in 0..joins {
                 sim.add_node(0.0);
             }
-            sim.remove_random_nodes(departures);
+            total_joins += joins;
+            // Joins land before departures, so this is the cycle's
+            // high-water mark for the live set. (Arena capacity is monotone;
+            // reading it once after the loop captures its peak.)
+            peak_live_nodes = peak_live_nodes.max(sim.live_count());
+            total_departures += sim.remove_random_nodes(departures);
 
             let summary = sim.run_cycle();
             if let Some(epoch) = summary.completed_epoch {
@@ -236,7 +324,24 @@ impl SizeEstimationScenario {
                 }
             }
         }
-        Ok(points)
+        let elapsed_seconds = started.elapsed().as_secs_f64();
+        let cycles_per_second = if elapsed_seconds > 0.0 {
+            scenario.total_cycles as f64 / elapsed_seconds
+        } else {
+            f64::INFINITY
+        };
+
+        Ok(ChurnReport {
+            points,
+            cycles: scenario.total_cycles,
+            total_joins,
+            total_departures,
+            peak_live_nodes,
+            final_live_nodes: sim.live_count(),
+            peak_slot_capacity: sim.slot_capacity(),
+            elapsed_seconds,
+            cycles_per_second,
+        })
     }
 }
 
@@ -422,6 +527,32 @@ mod tests {
             assert!(point.estimate_max >= point.estimate_mean);
             assert!(point.reporting_nodes > 0);
         }
+    }
+
+    #[test]
+    fn churn_runner_keeps_the_arena_bounded_and_matches_the_scenario() {
+        let scenario = SizeEstimationScenario::figure4_scaled(1_000, 240, 4242);
+        let report = ChurnRunner::new(scenario).run().unwrap();
+        assert_eq!(report.cycles, 240);
+        // Sustained churn must not leak slots: the arena stays within the
+        // oscillation peak plus one cycle's worth of simultaneous churn.
+        let bound = scenario.churn.max_size + 2 * scenario.churn.fluctuation_per_cycle;
+        assert!(
+            report.peak_slot_capacity <= bound,
+            "peak slot capacity {} exceeds bound {bound}",
+            report.peak_slot_capacity
+        );
+        assert!(report.peak_live_nodes <= bound);
+        assert!(report.peak_live_nodes <= report.peak_slot_capacity);
+        // 240 cycles of ±10 % oscillation plus 1-node fluctuation churn
+        // roughly 100 nodes each way; the exact split follows the schedule.
+        assert!(report.total_joins >= 240);
+        assert!(report.total_departures >= 240);
+        assert!(report.elapsed_seconds > 0.0);
+        assert!(report.cycles_per_second > 0.0);
+        assert!(report.mean_tracking_error().unwrap() < 0.15);
+        // The scenario wrapper reproduces the exact same points (same seed).
+        assert_eq!(report.points, scenario.run().unwrap());
     }
 
     #[test]

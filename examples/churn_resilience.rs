@@ -1,11 +1,14 @@
 //! Robustness demonstration: how the averaging protocol behaves under message
 //! loss, a correlated crash and continuous churn, using the full
-//! protocol-level simulator (epochs, joins, departures).
+//! protocol-level simulator (epochs, joins, departures) — including the
+//! paper's Figure 4 oscillating-churn workload driven through the
+//! slot-reclaiming arena engine.
 //!
 //! Run with:
 //!
 //! ```text
-//! cargo run --release --example churn_resilience
+//! cargo run --release --example churn_resilience            # scaled Figure 4 (1k nodes)
+//! cargo run --release --example churn_resilience -- --full  # full scale (90k–110k nodes)
 //! ```
 
 use epidemic_aggregation::prelude::*;
@@ -48,7 +51,63 @@ fn scenario(label: &str, conditions: NetworkConditions, crash_cycle: Option<usiz
     );
 }
 
+/// Runs the Figure 4 churn scenario through [`ChurnRunner`] and prints the
+/// engine-health telemetry: estimation accuracy, throughput and the arena's
+/// resident-slot high-water mark (which the free list keeps bounded).
+fn figure4_churn(full_scale: bool) {
+    let (label, scenario) = if full_scale {
+        (
+            "Figure 4, full scale (90k-110k nodes)",
+            SizeEstimationScenario::figure4(99),
+        )
+    } else {
+        (
+            "Figure 4, scaled (900-1100 nodes)",
+            SizeEstimationScenario::figure4_scaled(1_000, 1_000, 99),
+        )
+    };
+    println!(
+        "{label}: oscillating size, {} joins + departures of fluctuation per cycle,",
+        scenario.churn.fluctuation_per_cycle
+    );
+    println!(
+        "{} cycles in epochs of {} — sustained churn, so a leaky node arena would grow forever.",
+        scenario.total_cycles, scenario.cycles_per_epoch
+    );
+
+    let report = ChurnRunner::new(scenario).run().expect("valid scenario");
+
+    let slot_bound = scenario.churn.max_size + 2 * scenario.churn.fluctuation_per_cycle;
+    println!(
+        "  {} cycles in {:.1} s  ({:.1} cycles/s)",
+        report.cycles, report.elapsed_seconds, report.cycles_per_second
+    );
+    println!(
+        "  churn applied: {} joins, {} departures  (peak {} live nodes)",
+        report.total_joins, report.total_departures, report.peak_live_nodes
+    );
+    println!(
+        "  node arena: peak {} resident slots  (bound: max_size + 2*fluctuation = {})",
+        report.peak_slot_capacity, slot_bound
+    );
+    if let Some(error) = report.mean_tracking_error() {
+        println!(
+            "  size estimate tracks the true size within {:.2}% on average over {} epochs",
+            error * 100.0,
+            report.points.len().saturating_sub(1)
+        );
+    }
+    assert!(
+        report.peak_slot_capacity <= slot_bound,
+        "arena leaked beyond its bound"
+    );
+    println!();
+}
+
 fn main() {
+    let full_scale = std::env::args().any(|arg| arg == "--full");
+    figure4_churn(full_scale);
+
     println!("averaging over 2000 nodes, 25 cycles, values 0..99 (true average 49.5)");
     println!();
     scenario(

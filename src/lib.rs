@@ -61,7 +61,9 @@ pub mod prelude {
     pub use aggregate_core::{theory, AggregationError, GossipMessage, ProtocolConfig};
     pub use gossip_analysis::{Summary, Table};
     pub use gossip_net::{ClusterConfig, GossipCluster};
-    pub use gossip_sim::runner::{SizeEstimationScenario, VarianceExperiment};
+    pub use gossip_sim::runner::{
+        ChurnReport, ChurnRunner, SizeEstimationScenario, VarianceExperiment,
+    };
     pub use gossip_sim::{
         ChurnSchedule, GossipSimulation, NetworkConditions, SimulationConfig, ValueDistribution,
     };

@@ -1,0 +1,93 @@
+//! The Figure 4 churn workload end to end: the node arena must stay bounded
+//! under indefinite churn (the free-list engine's contract) and the network
+//! size estimate must track the oscillating true size.
+//!
+//! The scaled test runs in tier-1; the full-scale test (90 000–110 000 nodes,
+//! 100 joins + 100 departures per cycle, 1 000 cycles — the paper's exact
+//! setting) is `#[ignore]`d for time and runs with:
+//!
+//! ```text
+//! cargo test --release --test churn_figure4 -- --ignored --nocapture
+//! ```
+
+use epidemic_aggregation::prelude::*;
+
+/// Runs a scenario and asserts the two Figure 4 properties: arena capacity
+/// bounded by `max_size + 2 * fluctuation_per_cycle`, and the mean size
+/// estimate (after the bootstrap epoch) within 10 % of the true size.
+fn assert_figure4_properties(scenario: SizeEstimationScenario) -> ChurnReport {
+    let report = ChurnRunner::new(scenario).run().expect("valid scenario");
+
+    let bound = scenario.churn.max_size + 2 * scenario.churn.fluctuation_per_cycle;
+    assert!(
+        report.peak_slot_capacity <= bound,
+        "node arena leaked: peak {} slots exceeds max_size + 2*fluctuation = {bound}",
+        report.peak_slot_capacity
+    );
+    assert!(
+        report.peak_live_nodes <= bound,
+        "live set {} exceeded the schedule's envelope {bound}",
+        report.peak_live_nodes
+    );
+
+    assert!(
+        report.points.len() >= 2,
+        "expected at least two completed epochs, got {}",
+        report.points.len()
+    );
+    let mean_error = report
+        .mean_tracking_error()
+        .expect("post-bootstrap epochs must report estimates");
+    assert!(
+        mean_error < 0.10,
+        "mean size-estimate error {:.2}% exceeds the 10% Figure 4 bar",
+        mean_error * 100.0
+    );
+    report
+}
+
+#[test]
+fn scaled_figure4_churn_keeps_the_arena_bounded_and_tracks_the_size() {
+    // 1 000-node version of the oscillation, full 1 000 cycles: the same
+    // per-cycle churn structure as the paper's run at 1/100 the size.
+    let report = assert_figure4_properties(SizeEstimationScenario::figure4_scaled(
+        1_000, 1_000, 20040102,
+    ));
+    // 1 000 cycles × ~3 churn events each: a leaky arena would exceed 2 000
+    // slots; the free list keeps it at the 1 100-node peak plus slack.
+    assert!(report.total_joins >= 1_000);
+    assert!(report.total_departures >= 1_000);
+    // The oscillation returns to the schedule's target at the end.
+    let expected_final = report.final_live_nodes;
+    assert!((900..=1_100).contains(&expected_final));
+}
+
+#[test]
+#[ignore = "full-scale paper workload (≈10 min release); run with --release -- --ignored"]
+fn full_scale_figure4_churn_completes_within_bounded_memory() {
+    // The paper's exact Section 4 scenario: oscillation between 90 000 and
+    // 110 000 nodes over 500-cycle periods, plus 100 joins and 100
+    // departures of fluctuation every cycle, for 1 000 cycles.
+    let scenario = SizeEstimationScenario::figure4(20040102);
+    assert_eq!(scenario.churn.max_size, 110_000);
+    assert_eq!(scenario.churn.fluctuation_per_cycle, 100);
+    assert!(scenario.total_cycles >= 1_000);
+
+    let report = assert_figure4_properties(scenario);
+
+    // ~200 fluctuation events per cycle plus the oscillation slope.
+    assert!(report.total_joins >= 100_000);
+    assert!(report.total_departures >= 100_000);
+    eprintln!(
+        "full-scale Figure 4: {} cycles over peak {} nodes in {:.1} s \
+         ({:.1} cycles/s), peak arena {} slots (bound {}), mean tracking \
+         error {:.2}%",
+        report.cycles,
+        report.peak_live_nodes,
+        report.elapsed_seconds,
+        report.cycles_per_second,
+        report.peak_slot_capacity,
+        scenario.churn.max_size + 2 * scenario.churn.fluctuation_per_cycle,
+        report.mean_tracking_error().unwrap_or(f64::NAN) * 100.0
+    );
+}

@@ -81,6 +81,72 @@ fn node_level_simulations_are_bit_identical_for_identical_seeds() {
     );
 }
 
+/// Churn runs exercise the arena free list (departures freeing slots, joins
+/// reclaiming them, generation bumps on reuse); slot recycling must not
+/// perturb determinism — same seed, bit-identical trajectory.
+fn churn_summaries(seed: u64) -> (Vec<gossip_sim::CycleSummary>, usize) {
+    let values: Vec<f64> = (0..300).map(|i| (i % 37) as f64).collect();
+    let protocol = ProtocolConfig::builder()
+        .cycles_per_epoch(8)
+        .build()
+        .unwrap();
+    let mut sim = GossipSimulation::new(SimulationConfig::averaging(protocol), &values, seed);
+    let mut summaries = Vec::new();
+    for cycle in 0..30 {
+        // 5 joins then 5 departures per cycle: every join after the first
+        // cycle lands in a recycled slot with a bumped generation.
+        for i in 0..5 {
+            sim.add_node((cycle * 5 + i) as f64);
+        }
+        sim.remove_random_nodes(5);
+        summaries.push(sim.run_cycle());
+    }
+    (summaries, sim.slot_capacity())
+}
+
+#[test]
+fn churn_runs_with_slot_reuse_are_bit_identical_for_identical_seeds() {
+    let (a, capacity_a) = churn_summaries(99);
+    let (b, capacity_b) = churn_summaries(99);
+    assert_eq!(capacity_a, capacity_b);
+    assert!(
+        capacity_a <= 305,
+        "free-list reuse must keep the arena at peak live + per-cycle joins, got {capacity_a}"
+    );
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.live_nodes, y.live_nodes);
+        assert_eq!(x.exchanges, y.exchanges);
+        assert_eq!(
+            x.estimate_mean.to_bits(),
+            y.estimate_mean.to_bits(),
+            "cycle {}: means differ at the bit level under churn",
+            x.cycle
+        );
+        assert_eq!(
+            x.estimate_variance.to_bits(),
+            y.estimate_variance.to_bits(),
+            "cycle {}: variances differ at the bit level under churn",
+            x.cycle
+        );
+        assert_eq!(x.epoch_estimates, y.epoch_estimates);
+    }
+    assert_ne!(
+        churn_summaries(99)
+            .0
+            .last()
+            .unwrap()
+            .estimate_variance
+            .to_bits(),
+        churn_summaries(100)
+            .0
+            .last()
+            .unwrap()
+            .estimate_variance
+            .to_bits(),
+        "different seeds must churn differently"
+    );
+}
+
 /// The experiment runners (used by the benches and the convergence-rate
 /// integration tests) are reproducible end to end: same seed, same Summary.
 #[test]
