@@ -195,5 +195,49 @@ mod tests {
                     < 1e-6 * (1.0 + batch.std_dev)
             );
         }
+
+        /// The sharded engine's telemetry reducer merges one accumulator per
+        /// shard; this pins its correctness for *arbitrary* splits: chopping
+        /// the input at any set of points, accumulating each chunk
+        /// separately and merging left-to-right matches one sequential pass
+        /// within 1e-9 relative tolerance, and the order statistics match
+        /// exactly.
+        #[test]
+        fn prop_merge_over_arbitrary_splits_matches_sequential(
+            values in proptest::collection::vec(-1e6f64..1e6, 1..200),
+            raw_cuts in proptest::collection::vec(0usize..200, 0..8),
+        ) {
+            let mut sequential = OnlineStats::new();
+            values.iter().for_each(|&v| sequential.push(v));
+
+            // Normalise the cut points into ordered in-range split indices.
+            let mut cuts: Vec<usize> = raw_cuts.iter().map(|&c| c % (values.len() + 1)).collect();
+            cuts.sort_unstable();
+            cuts.dedup();
+
+            let mut merged = OnlineStats::new();
+            let mut start = 0;
+            for &cut in cuts.iter().chain(std::iter::once(&values.len())) {
+                let mut chunk = OnlineStats::new();
+                values[start..cut].iter().for_each(|&v| chunk.push(v));
+                merged.merge(&chunk);
+                start = cut;
+            }
+
+            prop_assert_eq!(merged.count(), sequential.count());
+            prop_assert_eq!(merged.min(), sequential.min());
+            prop_assert_eq!(merged.max(), sequential.max());
+            let mean_tolerance = 1e-9 * (1.0 + sequential.mean().abs());
+            prop_assert!(
+                (merged.mean() - sequential.mean()).abs() <= mean_tolerance,
+                "mean {} vs {}", merged.mean(), sequential.mean()
+            );
+            let variance_tolerance = 1e-9 * (1.0 + sequential.sample_variance().abs());
+            prop_assert!(
+                (merged.sample_variance() - sequential.sample_variance()).abs()
+                    <= variance_tolerance,
+                "variance {} vs {}", merged.sample_variance(), sequential.sample_variance()
+            );
+        }
     }
 }

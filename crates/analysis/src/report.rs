@@ -103,6 +103,16 @@ impl Table {
         out
     }
 
+    /// Writes the CSV rendering to `path`, creating or truncating the file —
+    /// the artifact-recording half of the bench/telemetry pipeline.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying I/O error.
+    pub fn write_csv<P: AsRef<std::path::Path>>(&self, path: P) -> std::io::Result<()> {
+        std::fs::write(path, self.to_csv())
+    }
+
     /// Renders the table as CSV (headers + rows). Cells containing commas are
     /// quoted.
     pub fn to_csv(&self) -> String {
@@ -182,5 +192,19 @@ mod tests {
         t.add_row(vec!["a,b".into(), "1".into()]);
         let csv = t.to_csv();
         assert!(csv.contains("\"a,b\",1"));
+    }
+
+    #[test]
+    fn write_csv_round_trips_through_the_filesystem() {
+        let table = sample();
+        let path = std::env::temp_dir().join(format!(
+            "gossip-analysis-write-csv-{}.csv",
+            std::process::id()
+        ));
+        table.write_csv(&path).expect("temp dir is writable");
+        let written = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(written, table.to_csv());
+        assert_eq!(written.lines().count(), 3);
+        std::fs::remove_file(&path).ok();
     }
 }

@@ -106,6 +106,7 @@ impl EpochManager {
     }
 
     /// The epoch this node currently executes (or waits for).
+    #[inline]
     pub fn current_epoch(&self) -> u64 {
         self.current_epoch
     }
@@ -122,6 +123,7 @@ impl EpochManager {
 
     /// Whether the node may actively initiate exchanges right now. A joining
     /// node is passive until the epoch it was told to wait for starts.
+    #[inline]
     pub fn can_participate(&self) -> bool {
         self.waiting_cycles == 0
     }
@@ -189,6 +191,7 @@ impl EpochManager {
 
     /// Whether a message stamped with `remote_epoch` is stale (older than the
     /// local epoch) and should be ignored.
+    #[inline]
     pub fn is_stale(&self, remote_epoch: u64) -> bool {
         remote_epoch < self.current_epoch
     }

@@ -1,0 +1,353 @@
+//! Engine-agnostic push–pull exchange core.
+//!
+//! Every runtime in this workspace — the single-threaded cycle engine, the
+//! event-driven asynchronous engine and the sharded multi-threaded engine in
+//! `gossip-sim`, as well as the live UDP runtime in `gossip-net` — ultimately
+//! performs the same node-level step: the initiator pushes one message per
+//! live instance, the peer absorbs each push and replies with its pre-update
+//! approximation, and the initiator absorbs the replies (Figure 1 of the
+//! paper). [`ExchangeCore`] is that step, extracted once so the engines only
+//! differ in *scheduling* (who exchanges with whom, when, on which thread),
+//! never in protocol semantics.
+//!
+//! The core is deliberately split into resumable halves —
+//! [`ExchangeCore::begin`], [`ExchangeCore::respond`] and
+//! [`ExchangeCore::complete`] — because the sharded engine executes the two
+//! sides of a cross-shard exchange on different worker threads with a mailbox
+//! hop in between. [`ExchangeCore::exchange`] fuses all three for the local
+//! case and additionally takes a message-free fast path when both nodes are
+//! in the common steady state (one default instance, same epoch, both
+//! participating). The fast path performs bit-identical arithmetic and draws
+//! loss decisions in bit-identical order, so an engine may mix fused and
+//! split execution freely without perturbing results — the determinism suite
+//! in `gossip-sim` pins this.
+//!
+//! Message loss is injected through a `FnMut() -> bool` closure so the core
+//! stays independent of any particular RNG or failure model; the closure is
+//! consulted once per push and once per produced reply, in message order.
+
+use crate::node::ProtocolNode;
+use crate::protocol::GossipMessage;
+use overlay_topology::NodeId;
+
+/// Running counters over one or more exchanges.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExchangeTally {
+    /// Number of exchanges that produced at least one push message.
+    pub exchanges: usize,
+    /// Number of messages (pushes and replies) dropped by the loss model.
+    pub messages_lost: usize,
+}
+
+/// Reusable scratch buffers for [`ExchangeCore::exchange`], so engines that
+/// drive millions of exchanges per cycle perform no steady-state allocation.
+#[derive(Debug, Default)]
+pub struct ExchangeScratch {
+    pushes: Vec<GossipMessage>,
+    replies: Vec<GossipMessage>,
+}
+
+impl ExchangeScratch {
+    /// Creates empty scratch buffers.
+    pub fn new() -> Self {
+        ExchangeScratch::default()
+    }
+}
+
+/// The one push–pull exchange implementation shared by every engine.
+///
+/// `ExchangeCore` is a stateless namespace (`Send + Sync` trivially); all
+/// node state lives in the [`ProtocolNode`]s handed to each step.
+#[derive(Debug, Clone, Copy)]
+pub struct ExchangeCore;
+
+impl ExchangeCore {
+    /// Active step: clears `pushes` and fills it with the initiator's push
+    /// messages towards `peer`, one per live instance. Returns `true` when
+    /// the exchange was actually initiated (the node may participate and has
+    /// something to push).
+    pub fn begin(
+        initiator: &mut ProtocolNode,
+        peer: NodeId,
+        pushes: &mut Vec<GossipMessage>,
+    ) -> bool {
+        pushes.clear();
+        initiator.begin_exchange_into(peer, pushes);
+        !pushes.is_empty()
+    }
+
+    /// Passive step: the peer absorbs each push and produces replies.
+    ///
+    /// For every push the loss model is consulted once for the push itself
+    /// and — when the peer produced a reply — once for the reply; surviving
+    /// replies are appended to `replies` in push order. Lost messages are
+    /// counted in `tally`.
+    pub fn respond(
+        peer: &mut ProtocolNode,
+        pushes: &[GossipMessage],
+        replies: &mut Vec<GossipMessage>,
+        lost: &mut impl FnMut() -> bool,
+        tally: &mut ExchangeTally,
+    ) {
+        for &push in pushes {
+            if lost() {
+                tally.messages_lost += 1;
+                continue;
+            }
+            let Some(reply) = peer.handle_message(push) else {
+                continue;
+            };
+            if lost() {
+                tally.messages_lost += 1;
+                continue;
+            }
+            replies.push(reply);
+        }
+    }
+
+    /// Final step: the initiator absorbs the surviving replies.
+    pub fn complete(initiator: &mut ProtocolNode, replies: &[GossipMessage]) {
+        for &reply in replies {
+            initiator.handle_message(reply);
+        }
+    }
+
+    /// Delivers one in-flight message to a node, returning the reply to send
+    /// back, if any. This is the entry point for engines that model message
+    /// transit explicitly (the event-driven engine, live transports).
+    pub fn deliver(node: &mut ProtocolNode, message: GossipMessage) -> Option<GossipMessage> {
+        node.handle_message(message)
+    }
+
+    /// One full push–pull exchange with both nodes in hand.
+    ///
+    /// Equivalent to [`ExchangeCore::begin`] → [`ExchangeCore::respond`] →
+    /// [`ExchangeCore::complete`] — and bit-identical to that sequence in
+    /// both arithmetic and loss-draw order — but takes a message-free fast
+    /// path in the common steady state: initiator and peer in the same epoch,
+    /// both allowed to participate, and the initiator running only the
+    /// default instance.
+    pub fn exchange(
+        initiator: &mut ProtocolNode,
+        peer: &mut ProtocolNode,
+        scratch: &mut ExchangeScratch,
+        lost: &mut impl FnMut() -> bool,
+        tally: &mut ExchangeTally,
+    ) {
+        if Self::try_fused(initiator, peer, lost, tally) {
+            return;
+        }
+        if !Self::begin(initiator, peer.id(), &mut scratch.pushes) {
+            return;
+        }
+        tally.exchanges += 1;
+        scratch.replies.clear();
+        Self::respond(peer, &scratch.pushes, &mut scratch.replies, lost, tally);
+        Self::complete(initiator, &scratch.replies);
+    }
+
+    /// The fused single-instance fast path. Returns `false` (doing nothing)
+    /// when the preconditions do not hold and the caller must run the message
+    /// path.
+    ///
+    /// Preconditions: both nodes participate, both are in the same epoch, and
+    /// the initiator's only instance is the default one (the peer may carry
+    /// extra led instances — only its default instance is touched, exactly as
+    /// in the message path). Under these conditions the message path performs
+    /// no epoch transition and no instance creation, so the exchange reduces
+    /// to `initiate` → `absorb_push` → `absorb_reply` on the two default
+    /// instances, with the two loss draws in the same order.
+    fn try_fused(
+        initiator: &mut ProtocolNode,
+        peer: &mut ProtocolNode,
+        lost: &mut impl FnMut() -> bool,
+        tally: &mut ExchangeTally,
+    ) -> bool {
+        if !initiator.can_participate()
+            || !peer.can_participate()
+            || initiator.current_epoch() != peer.current_epoch()
+            || !initiator.has_only_default_instance()
+            || initiator.id() == peer.id()
+        {
+            return false;
+        }
+        tally.exchanges += 1;
+        if lost() {
+            tally.messages_lost += 1;
+            return true;
+        }
+        let pushed = initiator.default_instance().initiate();
+        let replied = peer.default_instance_mut().absorb_push(pushed);
+        if lost() {
+            tally.messages_lost += 1;
+            return true;
+        }
+        initiator.default_instance_mut().absorb_reply(replied);
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{LateJoinPolicy, ProtocolConfig};
+    use crate::protocol::InstanceTag;
+
+    fn node(id: u32, value: f64) -> ProtocolNode {
+        ProtocolNode::new(NodeId::new(id as usize), ProtocolConfig::default(), value)
+    }
+
+    fn no_loss() -> impl FnMut() -> bool {
+        || false
+    }
+
+    #[test]
+    fn fused_and_message_paths_agree_bitwise() {
+        // Same initial state driven through both paths must agree exactly.
+        let mut a1 = node(0, 3.25);
+        let mut b1 = node(1, -1.5);
+        let mut tally1 = ExchangeTally::default();
+        let mut scratch = ExchangeScratch::new();
+        ExchangeCore::exchange(&mut a1, &mut b1, &mut scratch, &mut no_loss(), &mut tally1);
+
+        let mut a2 = node(0, 3.25);
+        let mut b2 = node(1, -1.5);
+        let mut tally2 = ExchangeTally::default();
+        let mut pushes = Vec::new();
+        let mut replies = Vec::new();
+        assert!(ExchangeCore::begin(&mut a2, b2.id(), &mut pushes));
+        tally2.exchanges += 1;
+        ExchangeCore::respond(&mut b2, &pushes, &mut replies, &mut no_loss(), &mut tally2);
+        ExchangeCore::complete(&mut a2, &replies);
+
+        assert_eq!(a1, a2);
+        assert_eq!(b1, b2);
+        assert_eq!(tally1, tally2);
+        assert_eq!(
+            a1.estimate().unwrap().to_bits(),
+            a2.estimate().unwrap().to_bits()
+        );
+    }
+
+    #[test]
+    fn fused_path_draws_losses_in_message_order() {
+        // Drop the push: neither state moves, the reply draw never happens.
+        let mut a = node(0, 0.0);
+        let mut b = node(1, 10.0);
+        let mut tally = ExchangeTally::default();
+        let mut scratch = ExchangeScratch::new();
+        let mut draws = [true].iter().copied();
+        ExchangeCore::exchange(
+            &mut a,
+            &mut b,
+            &mut scratch,
+            &mut move || draws.next().expect("exactly one draw"),
+            &mut tally,
+        );
+        assert_eq!(
+            tally,
+            ExchangeTally {
+                exchanges: 1,
+                messages_lost: 1
+            }
+        );
+        assert_eq!(a.estimate(), Some(0.0));
+        assert_eq!(b.estimate(), Some(10.0));
+
+        // Drop only the reply: the peer has absorbed, the initiator has not.
+        let mut a = node(0, 0.0);
+        let mut b = node(1, 10.0);
+        let mut tally = ExchangeTally::default();
+        let mut draws = vec![false, true].into_iter();
+        ExchangeCore::exchange(
+            &mut a,
+            &mut b,
+            &mut scratch,
+            &mut move || draws.next().unwrap(),
+            &mut tally,
+        );
+        assert_eq!(
+            tally,
+            ExchangeTally {
+                exchanges: 1,
+                messages_lost: 1
+            }
+        );
+        assert_eq!(a.estimate(), Some(0.0));
+        assert_eq!(b.estimate(), Some(5.0));
+    }
+
+    #[test]
+    fn cross_epoch_exchange_falls_back_to_the_message_path() {
+        // Peer one epoch ahead: the initiator must jump and restart, which
+        // only the message path implements.
+        let config = ProtocolConfig::builder()
+            .cycles_per_epoch(1)
+            .build()
+            .unwrap();
+        let mut a = ProtocolNode::new(NodeId::new(0), config, 4.0);
+        let mut b = ProtocolNode::new(NodeId::new(1), config, 8.0);
+        b.end_cycle();
+        assert_eq!(b.current_epoch(), 1);
+        let mut tally = ExchangeTally::default();
+        let mut scratch = ExchangeScratch::new();
+        // b initiates towards a (a is behind).
+        ExchangeCore::exchange(&mut b, &mut a, &mut scratch, &mut no_loss(), &mut tally);
+        assert_eq!(a.current_epoch(), 1);
+        assert_eq!(tally.exchanges, 1);
+        assert_eq!(a.estimate(), b.estimate());
+    }
+
+    #[test]
+    fn initiator_with_led_instances_uses_the_message_path() {
+        let config = ProtocolConfig::builder()
+            .late_join(LateJoinPolicy::FixedState(0.0))
+            .build()
+            .unwrap();
+        let mut leader = ProtocolNode::new(NodeId::new(0), config, 0.0);
+        let mut other = ProtocolNode::new(NodeId::new(1), config, 0.0);
+        let tag = InstanceTag::from_leader(leader.id());
+        leader.start_led_instance(tag, 1.0);
+        let mut tally = ExchangeTally::default();
+        let mut scratch = ExchangeScratch::new();
+        ExchangeCore::exchange(
+            &mut leader,
+            &mut other,
+            &mut scratch,
+            &mut no_loss(),
+            &mut tally,
+        );
+        // Both instances travelled: the led instance reached the other node.
+        assert_eq!(other.instance_estimate(tag), Some(0.5));
+        assert_eq!(tally.exchanges, 1);
+    }
+
+    #[test]
+    fn passive_initiator_initiates_nothing() {
+        let config = ProtocolConfig::default();
+        let mut newcomer = ProtocolNode::joining(NodeId::new(0), config, 9.0, 1, 5);
+        let mut veteran = node(1, 1.0);
+        let mut tally = ExchangeTally::default();
+        let mut scratch = ExchangeScratch::new();
+        ExchangeCore::exchange(
+            &mut newcomer,
+            &mut veteran,
+            &mut scratch,
+            &mut no_loss(),
+            &mut tally,
+        );
+        assert_eq!(tally, ExchangeTally::default());
+        assert_eq!(veteran.estimate(), Some(1.0));
+    }
+
+    #[test]
+    fn deliver_matches_handle_message() {
+        let mut a = node(0, 2.0);
+        let mut b = node(1, 6.0);
+        let pushes = a.begin_exchange(b.id());
+        let reply = ExchangeCore::deliver(&mut b, pushes[0]).expect("push produces a reply");
+        assert!(ExchangeCore::deliver(&mut a, reply).is_none());
+        assert_eq!(a.estimate(), Some(4.0));
+        assert_eq!(b.estimate(), Some(4.0));
+    }
+}

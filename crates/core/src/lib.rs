@@ -76,6 +76,7 @@ pub mod config;
 pub mod derived;
 pub mod epoch;
 mod error;
+pub mod exchange;
 pub mod node;
 pub mod protocol;
 pub mod selectors;
@@ -85,6 +86,7 @@ pub mod theory;
 pub use aggregate::{Aggregate, AggregateKind};
 pub use config::{LateJoinPolicy, ProtocolConfig};
 pub use error::AggregationError;
+pub use exchange::{ExchangeCore, ExchangeScratch, ExchangeTally};
 pub use node::{EpochResult, ProtocolNode};
 pub use protocol::{AggregationInstance, GossipMessage, InstanceTag};
 pub use selectors::{PairSelector, SelectorKind};
@@ -108,6 +110,8 @@ mod crate_level_tests {
     #[test]
     fn key_types_are_send_and_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ExchangeCore>();
+        assert_send_sync::<ExchangeScratch>();
         assert_send_sync::<ProtocolNode>();
         assert_send_sync::<GossipMessage>();
         assert_send_sync::<AggregationError>();

@@ -68,30 +68,37 @@ impl EpochResult {
 /// assert_eq!(a.estimate(), Some(15.0));
 /// assert_eq!(b.estimate(), Some(15.0));
 /// ```
+///
+/// The default aggregation instance is stored inline (every node always has
+/// one); only the extra leader-led instances of the network-size estimator
+/// live in the [`BTreeMap`]. In the common single-instance configuration a
+/// node therefore owns no heap allocation at all, which is what lets the
+/// sharded cycle engine keep millions of nodes contiguous in its arenas.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[repr(C)] // hot-first field order: everything the fused exchange fast path
+           // reads (epoch state, default instance, led-instance root, id)
+           // lives in the leading ~96 bytes, so an exchange costs the
+           // engines two cache lines per node, not three
 pub struct ProtocolNode {
-    id: NodeId,
-    config: ProtocolConfig,
     epochs: EpochManager,
+    default_instance: AggregationInstance,
+    led_instances: BTreeMap<InstanceTag, AggregationInstance>,
+    id: NodeId,
     local_value: f64,
-    instances: BTreeMap<InstanceTag, AggregationInstance>,
+    config: ProtocolConfig,
 }
 
 impl ProtocolNode {
     /// Creates a node present from the start of epoch 0, with the given local
     /// attribute value.
     pub fn new(id: NodeId, config: ProtocolConfig, local_value: f64) -> Self {
-        let mut instances = BTreeMap::new();
-        instances.insert(
-            InstanceTag::DEFAULT,
-            AggregationInstance::new(config.aggregate(), local_value, 0),
-        );
         ProtocolNode {
             id,
             config,
             epochs: EpochManager::new(config.cycles_per_epoch(), 0),
             local_value,
-            instances,
+            default_instance: AggregationInstance::new(config.aggregate(), local_value, 0),
+            led_instances: BTreeMap::new(),
         }
     }
 
@@ -105,11 +112,6 @@ impl ProtocolNode {
         next_epoch: u64,
         cycles_until_start: u32,
     ) -> Self {
-        let mut instances = BTreeMap::new();
-        instances.insert(
-            InstanceTag::DEFAULT,
-            AggregationInstance::new(config.aggregate(), local_value, next_epoch),
-        );
         ProtocolNode {
             id,
             config,
@@ -119,11 +121,13 @@ impl ProtocolNode {
                 cycles_until_start,
             ),
             local_value,
-            instances,
+            default_instance: AggregationInstance::new(config.aggregate(), local_value, next_epoch),
+            led_instances: BTreeMap::new(),
         }
     }
 
     /// This node's identifier.
+    #[inline]
     pub fn id(&self) -> NodeId {
         self.id
     }
@@ -134,6 +138,7 @@ impl ProtocolNode {
     }
 
     /// The node's local attribute value `a_i`.
+    #[inline]
     pub fn local_value(&self) -> f64 {
         self.local_value
     }
@@ -143,40 +148,70 @@ impl ProtocolNode {
     /// how the protocol adapts to changing inputs.
     pub fn set_local_value(&mut self, value: f64) {
         self.local_value = value;
-        for instance in self.instances.values_mut() {
+        self.default_instance.set_local_value(value);
+        for instance in self.led_instances.values_mut() {
             instance.set_local_value(value);
         }
     }
 
     /// Current estimate of the default aggregation instance.
+    #[inline]
     pub fn estimate(&self) -> Option<f64> {
-        self.instances
-            .get(&InstanceTag::DEFAULT)
-            .map(|i| i.estimate())
+        Some(self.default_instance.estimate())
     }
 
     /// Estimate of an arbitrary instance.
     pub fn instance_estimate(&self, tag: InstanceTag) -> Option<f64> {
-        self.instances.get(&tag).map(|i| i.estimate())
+        self.instance(tag).map(|i| i.estimate())
     }
 
     /// Read access to a specific instance.
     pub fn instance(&self, tag: InstanceTag) -> Option<&AggregationInstance> {
-        self.instances.get(&tag)
+        if tag == InstanceTag::DEFAULT {
+            Some(&self.default_instance)
+        } else {
+            self.led_instances.get(&tag)
+        }
     }
 
-    /// Iterates over all live instances.
+    /// Iterates over all live instances, default instance first (the same
+    /// order the old all-in-one `BTreeMap` produced, since
+    /// [`InstanceTag::DEFAULT`] sorts before every leader-derived tag).
     pub fn instances(&self) -> impl Iterator<Item = (&InstanceTag, &AggregationInstance)> {
-        self.instances.iter()
+        std::iter::once((&InstanceTag::DEFAULT, &self.default_instance))
+            .chain(self.led_instances.iter())
+    }
+
+    /// Whether the default instance is the node's only live instance — the
+    /// precondition for the fused exchange fast path in
+    /// [`crate::exchange::ExchangeCore`] (and a cheap single-line read for
+    /// engines that warm node state ahead of a batch of exchanges).
+    #[inline]
+    pub fn has_only_default_instance(&self) -> bool {
+        self.led_instances.is_empty()
+    }
+
+    /// Direct access to the default instance (fused exchange fast path).
+    #[inline]
+    pub(crate) fn default_instance(&self) -> &AggregationInstance {
+        &self.default_instance
+    }
+
+    /// Mutable access to the default instance (fused exchange fast path).
+    #[inline]
+    pub(crate) fn default_instance_mut(&mut self) -> &mut AggregationInstance {
+        &mut self.default_instance
     }
 
     /// The epoch this node is currently executing.
+    #[inline]
     pub fn current_epoch(&self) -> u64 {
         self.epochs.current_epoch()
     }
 
     /// Whether the node may actively initiate exchanges (joining nodes are
     /// passive until their first epoch starts).
+    #[inline]
     pub fn can_participate(&self) -> bool {
         self.epochs.can_participate()
     }
@@ -191,15 +226,17 @@ impl ProtocolNode {
     /// seeded with an explicit initial state. The network-size estimator uses
     /// this with state `1.0` on the elected leader.
     pub fn start_led_instance(&mut self, tag: InstanceTag, initial_state: f64) {
-        self.instances.insert(
-            tag,
-            AggregationInstance::with_initial_state(
-                self.config.aggregate(),
-                self.local_value,
-                initial_state,
-                self.epochs.current_epoch(),
-            ),
+        let instance = AggregationInstance::with_initial_state(
+            self.config.aggregate(),
+            self.local_value,
+            initial_state,
+            self.epochs.current_epoch(),
         );
+        if tag == InstanceTag::DEFAULT {
+            self.default_instance = instance;
+        } else {
+            self.led_instances.insert(tag, instance);
+        }
     }
 
     /// Active half of the protocol (Figure 1's "active process"): produces the
@@ -208,20 +245,26 @@ impl ProtocolNode {
     /// Returns an empty vector when the node is not yet allowed to
     /// participate.
     pub fn begin_exchange(&mut self, peer: NodeId) -> Vec<GossipMessage> {
+        let mut pushes = Vec::new();
+        self.begin_exchange_into(peer, &mut pushes);
+        pushes
+    }
+
+    /// Allocation-free variant of [`ProtocolNode::begin_exchange`]: appends
+    /// the push messages to a caller-owned buffer, so engines driving millions
+    /// of exchanges per cycle can reuse one scratch vector.
+    pub fn begin_exchange_into(&mut self, peer: NodeId, pushes: &mut Vec<GossipMessage>) {
         if !self.epochs.can_participate() || peer == self.id {
-            return Vec::new();
+            return;
         }
         let epoch = self.epochs.current_epoch();
-        self.instances
-            .iter()
-            .map(|(tag, instance)| GossipMessage::Push {
-                from: self.id,
-                to: peer,
-                instance: *tag,
-                epoch,
-                value: instance.initiate(),
-            })
-            .collect()
+        pushes.extend(self.instances().map(|(tag, instance)| GossipMessage::Push {
+            from: self.id,
+            to: peer,
+            instance: *tag,
+            epoch,
+            value: instance.initiate(),
+        }));
     }
 
     /// Handles an incoming message, returning the reply to send (for pushes)
@@ -251,22 +294,25 @@ impl ProtocolNode {
                 let local_value = self.local_value;
                 let aggregate = self.config.aggregate();
                 let current_epoch = self.epochs.current_epoch();
-                let instance = self
-                    .instances
-                    .entry(tag)
-                    .or_insert_with(|| match late_join {
-                        LateJoinPolicy::LocalValue => {
-                            AggregationInstance::new(aggregate, local_value, current_epoch)
-                        }
-                        LateJoinPolicy::FixedState(state) => {
-                            AggregationInstance::with_initial_state(
-                                aggregate,
-                                local_value,
-                                state,
-                                current_epoch,
-                            )
-                        }
-                    });
+                let instance = if tag == InstanceTag::DEFAULT {
+                    &mut self.default_instance
+                } else {
+                    self.led_instances
+                        .entry(tag)
+                        .or_insert_with(|| match late_join {
+                            LateJoinPolicy::LocalValue => {
+                                AggregationInstance::new(aggregate, local_value, current_epoch)
+                            }
+                            LateJoinPolicy::FixedState(state) => {
+                                AggregationInstance::with_initial_state(
+                                    aggregate,
+                                    local_value,
+                                    state,
+                                    current_epoch,
+                                )
+                            }
+                        })
+                };
                 let reply_value = instance.absorb_push(value);
                 Some(GossipMessage::Reply {
                     from: self.id,
@@ -281,7 +327,12 @@ impl ProtocolNode {
                 value,
                 ..
             } => {
-                if let Some(instance) = self.instances.get_mut(&tag) {
+                let instance = if tag == InstanceTag::DEFAULT {
+                    Some(&mut self.default_instance)
+                } else {
+                    self.led_instances.get_mut(&tag)
+                };
+                if let Some(instance) = instance {
                     instance.absorb_reply(value);
                 }
                 None
@@ -300,8 +351,7 @@ impl ProtocolNode {
                 finished, current, ..
             } => {
                 let estimates = self
-                    .instances
-                    .iter()
+                    .instances()
                     .map(|(tag, inst)| (*tag, inst.estimate()))
                     .collect();
                 self.restart_instances(current);
@@ -318,11 +368,9 @@ impl ProtocolNode {
     /// Restarts the default instance for `epoch` and drops all extra led
     /// instances (they are per-epoch by construction).
     fn restart_instances(&mut self, epoch: u64) {
-        self.instances.retain(|tag, _| *tag == InstanceTag::DEFAULT);
-        if let Some(instance) = self.instances.get_mut(&InstanceTag::DEFAULT) {
-            instance.set_local_value(self.local_value);
-            instance.restart(epoch);
-        }
+        self.led_instances.clear();
+        self.default_instance.set_local_value(self.local_value);
+        self.default_instance.restart(epoch);
     }
 }
 

@@ -169,6 +169,7 @@ impl AggregationInstance {
     }
 
     /// The aggregate this instance computes.
+    #[inline]
     pub fn kind(&self) -> AggregateKind {
         self.kind
     }
@@ -197,11 +198,13 @@ impl AggregationInstance {
 
     /// The raw internal state `x_i` (before the aggregate's estimate
     /// transform). This is the value that travels in messages.
+    #[inline]
     pub fn state(&self) -> f64 {
         self.state
     }
 
     /// The user-facing estimate of the aggregate.
+    #[inline]
     pub fn estimate(&self) -> f64 {
         self.kind.estimate_value(self.state)
     }
@@ -223,6 +226,7 @@ impl AggregationInstance {
     }
 
     /// Active side, step 1: returns the approximation to push to the peer.
+    #[inline]
     pub fn initiate(&self) -> f64 {
         self.state
     }
@@ -230,6 +234,7 @@ impl AggregationInstance {
     /// Passive side: absorbs a pushed approximation and returns the value to
     /// send back (the *pre-update* local approximation, as in Figure 1 where
     /// node `n_j` first sends `x_j` and then sets `x_j := aggregate(x_j, x_i)`).
+    #[inline]
     pub fn absorb_push(&mut self, pushed: f64) -> f64 {
         let reply = self.state;
         self.state = self.kind.merge_values(self.state, pushed);
@@ -238,6 +243,7 @@ impl AggregationInstance {
     }
 
     /// Active side, step 2: absorbs the reply and completes the exchange.
+    #[inline]
     pub fn absorb_reply(&mut self, replied: f64) {
         self.state = self.kind.merge_values(self.state, replied);
         self.exchanges += 1;

@@ -11,17 +11,31 @@
 //!
 //! Reusing a slot raises an aliasing question: a stale [`NodeId`] held from a
 //! previous occupant must not resolve to the new occupant. The arena
-//! therefore packs a per-slot *generation* into the identifier itself —
-//! the low [`SLOT_BITS`] bits of the raw `u32` are the slot index, the high
-//! bits count how many times the slot has been recycled. Identifiers of the
-//! initial population are generation 0, i.e. plain indices, so existing
-//! `NodeId::new(i)` call sites keep working.
+//! therefore packs a per-slot *generation* into the identifier itself — the
+//! low bits of the raw `u32` are the slot index, the high bits count how many
+//! times the slot has been recycled.
+//!
+//! The exact bit split is an [`IdLayout`]. The single-threaded engine uses
+//! [`IdLayout::single`] — [`SLOT_BITS`] slot bits, the rest generation, so
+//! identifiers of the initial population are plain indices and existing
+//! `NodeId::new(i)` call sites keep working. The sharded engine gives each
+//! shard its own sub-arena with [`IdLayout::sharded`], which additionally
+//! packs the owning shard's index between the slot and generation bits:
+//!
+//! ```text
+//! single :  [ generation : 11 ][            slot : 21             ]
+//! sharded:  [ generation : 8 ][ shard : 4 ][      slot : 20       ]
+//! ```
+//!
+//! An identifier minted by one shard's arena never resolves in another
+//! shard's arena (the tag check fails), and the sharded engine routes
+//! messages by extracting the shard bits — no map lookup required.
 
 use aggregate_core::node::ProtocolNode;
 use overlay_topology::NodeId;
 
-/// Number of low bits of a raw [`NodeId`] that address the slot; the
-/// remaining high bits hold the slot's generation.
+/// Number of low bits of a raw [`NodeId`] that address the slot in the
+/// single-engine layout; the remaining high bits hold the slot's generation.
 ///
 /// 21 bits ≈ 2 M simultaneously live nodes — an order of magnitude above the
 /// paper's 110 000-node peak — leaving 11 generation bits (2 048 reuses per
@@ -29,26 +43,113 @@ use overlay_topology::NodeId;
 /// arena this covers hundreds of millions of churn events per run).
 pub const SLOT_BITS: u32 = 21;
 
-/// Maximum number of simultaneously allocated slots.
+/// Maximum number of simultaneously allocated slots in the single-engine
+/// layout.
 pub const MAX_SLOTS: usize = 1 << SLOT_BITS;
 
-const SLOT_MASK: u32 = (1 << SLOT_BITS) - 1;
-const GENERATION_LIMIT: u32 = 1 << (32 - SLOT_BITS);
+/// Number of shard-index bits in the sharded layout ([`IdLayout::sharded`]).
+pub const SHARD_BITS: u32 = 4;
+
+/// Maximum number of shards the sharded layout can address.
+pub const MAX_SHARDS: usize = 1 << SHARD_BITS;
+
+/// Number of slot bits per shard in the sharded layout: 2^20 ≈ 1.05 M
+/// simultaneously live nodes *per shard*, so even a single-shard arena holds
+/// the million-node workload, and 8 generation bits remain (256 reuses per
+/// slot — at the Figure 4 churn rate of 200 events/cycle spread over ≥ 90 000
+/// slots this covers > 100 000 cycles per run).
+pub const SHARDED_SLOT_BITS: u32 = 20;
 
 /// Sentinel for "slot is not live" in the slot → live-position map.
 const NOT_LIVE: u32 = u32::MAX;
 
-/// Packs a slot index and generation into a [`NodeId`].
-#[inline]
-fn pack(slot: u32, generation: u32) -> NodeId {
-    NodeId::from_u32((generation << SLOT_BITS) | slot)
+/// How a raw `u32` [`NodeId`] is split into slot, tag (shard) and generation
+/// bits: `[ generation | tag | slot ]`, lowest bits first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IdLayout {
+    slot_bits: u32,
+    tag_bits: u32,
+    tag: u32,
 }
 
-/// Splits a [`NodeId`] into `(slot, generation)`.
-#[inline]
-fn unpack(id: NodeId) -> (u32, u32) {
-    let raw = id.as_u32();
-    (raw & SLOT_MASK, raw >> SLOT_BITS)
+impl IdLayout {
+    /// The single-engine layout: [`SLOT_BITS`] slot bits, no tag, 11
+    /// generation bits. Generation-0 identifiers are plain indices.
+    pub const fn single() -> Self {
+        IdLayout {
+            slot_bits: SLOT_BITS,
+            tag_bits: 0,
+            tag: 0,
+        }
+    }
+
+    /// The sharded layout for the sub-arena owned by `shard`:
+    /// [`SHARDED_SLOT_BITS`] slot bits, [`SHARD_BITS`] shard bits, 8
+    /// generation bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shard` does not fit in [`SHARD_BITS`] bits.
+    pub const fn sharded(shard: u32) -> Self {
+        assert!((shard as usize) < MAX_SHARDS, "shard index out of range");
+        IdLayout {
+            slot_bits: SHARDED_SLOT_BITS,
+            tag_bits: SHARD_BITS,
+            tag: shard,
+        }
+    }
+
+    /// Maximum number of simultaneously allocated slots under this layout.
+    pub const fn max_slots(&self) -> usize {
+        1 << self.slot_bits
+    }
+
+    /// Number of generation values before the per-slot counter wraps.
+    const fn generation_limit(&self) -> u32 {
+        1 << (32 - self.slot_bits - self.tag_bits)
+    }
+
+    /// The tag (shard index) this layout stamps into every identifier.
+    pub const fn tag(&self) -> u32 {
+        self.tag
+    }
+
+    /// Packs a slot index and generation (plus this layout's tag) into a
+    /// [`NodeId`].
+    #[inline]
+    fn pack(&self, slot: u32, generation: u32) -> NodeId {
+        NodeId::from_u32(((generation << self.tag_bits | self.tag) << self.slot_bits) | slot)
+    }
+
+    /// Splits a [`NodeId`] into `(slot, tag, generation)`.
+    #[inline]
+    fn unpack(&self, id: NodeId) -> (u32, u32, u32) {
+        let raw = id.as_u32();
+        let slot = raw & ((1 << self.slot_bits) - 1);
+        let high = raw >> self.slot_bits;
+        let tag = high & ((1 << self.tag_bits) - 1);
+        (slot, tag, high >> self.tag_bits)
+    }
+
+    /// Extracts the shard index from an identifier minted under the sharded
+    /// layout (any shard's instance decodes any sharded identifier).
+    #[inline]
+    pub fn shard_of(id: NodeId) -> u32 {
+        (id.as_u32() >> SHARDED_SLOT_BITS) & ((1 << SHARD_BITS) - 1)
+    }
+
+    /// Extracts the slot index from an identifier minted under the sharded
+    /// layout.
+    #[inline]
+    pub fn sharded_slot_of(id: NodeId) -> u32 {
+        id.as_u32() & ((1 << SHARDED_SLOT_BITS) - 1)
+    }
+}
+
+impl Default for IdLayout {
+    fn default() -> Self {
+        IdLayout::single()
+    }
 }
 
 #[derive(Debug)]
@@ -68,6 +169,7 @@ struct Slot {
 ///   by identifier is O(1) swap-remove rather than a linear scan.
 #[derive(Debug, Default)]
 pub struct NodeArena {
+    layout: IdLayout,
     slots: Vec<Slot>,
     free: Vec<u32>,
     live: Vec<u32>,
@@ -75,9 +177,23 @@ pub struct NodeArena {
 }
 
 impl NodeArena {
-    /// Creates an empty arena.
+    /// Creates an empty arena with the single-engine layout.
     pub fn new() -> Self {
         NodeArena::default()
+    }
+
+    /// Creates an empty arena minting identifiers under `layout` (the sharded
+    /// engine passes [`IdLayout::sharded`] per sub-arena).
+    pub fn with_layout(layout: IdLayout) -> Self {
+        NodeArena {
+            layout,
+            ..NodeArena::default()
+        }
+    }
+
+    /// The identifier layout of this arena.
+    pub fn layout(&self) -> IdLayout {
+        self.layout
     }
 
     /// Number of live nodes.
@@ -115,7 +231,7 @@ impl NodeArena {
     /// only if the caller raced an arena mutation, which the engine never
     /// does within a cycle.
     pub fn id_at_slot(&self, slot: u32) -> NodeId {
-        pack(slot, self.slots[slot as usize].generation)
+        self.layout.pack(slot, self.slots[slot as usize].generation)
     }
 
     /// Read access to the live occupant of `slot`, if any.
@@ -128,10 +244,38 @@ impl NodeArena {
         self.slots.get_mut(slot as usize)?.node.as_mut()
     }
 
-    /// Resolves an identifier to its node — `None` when the slot is dead *or*
-    /// the identifier's generation is stale (a previous occupant).
+    /// Mutable access to the live occupants of two *distinct* slots at once —
+    /// the borrow shape of a fused push–pull exchange.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `a == b` (an exchange needs two distinct nodes; the
+    /// schedulers guarantee this).
+    pub fn pair_mut(
+        &mut self,
+        a: u32,
+        b: u32,
+    ) -> (Option<&mut ProtocolNode>, Option<&mut ProtocolNode>) {
+        assert_ne!(a, b, "pair_mut requires two distinct slots");
+        let (lo, hi, swapped) = if a < b { (a, b, false) } else { (b, a, true) };
+        let (head, tail) = self.slots.split_at_mut(hi as usize);
+        let lo_node = head.get_mut(lo as usize).and_then(|s| s.node.as_mut());
+        let hi_node = tail.first_mut().and_then(|s| s.node.as_mut());
+        if swapped {
+            (hi_node, lo_node)
+        } else {
+            (lo_node, hi_node)
+        }
+    }
+
+    /// Resolves an identifier to its node — `None` when the slot is dead,
+    /// the identifier's generation is stale (a previous occupant), or the
+    /// identifier was minted by a different shard's arena.
     pub fn get(&self, id: NodeId) -> Option<&ProtocolNode> {
-        let (slot, generation) = unpack(id);
+        let (slot, tag, generation) = self.layout.unpack(id);
+        if tag != self.layout.tag {
+            return None;
+        }
         let entry = self.slots.get(slot as usize)?;
         if entry.generation != generation {
             return None;
@@ -141,7 +285,10 @@ impl NodeArena {
 
     /// Mutable variant of [`NodeArena::get`].
     pub fn get_mut(&mut self, id: NodeId) -> Option<&mut ProtocolNode> {
-        let (slot, generation) = unpack(id);
+        let (slot, tag, generation) = self.layout.unpack(id);
+        if tag != self.layout.tag {
+            return None;
+        }
         let entry = self.slots.get_mut(slot as usize)?;
         if entry.generation != generation {
             return None;
@@ -153,23 +300,26 @@ impl NodeArena {
     /// closure receives the identifier the node will live under (slot +
     /// fresh generation).
     ///
+    /// Returns the identifier and the slot it occupies.
+    ///
     /// # Panics
     ///
-    /// Panics when all [`MAX_SLOTS`] slots are simultaneously live.
-    pub fn insert(&mut self, make_node: impl FnOnce(NodeId) -> ProtocolNode) -> NodeId {
+    /// Panics when all of the layout's slots are simultaneously live.
+    pub fn insert_at(&mut self, make_node: impl FnOnce(NodeId) -> ProtocolNode) -> (NodeId, u32) {
         let slot = match self.free.pop() {
             Some(slot) => {
                 // Recycled slot: bump the generation so identifiers of the
                 // previous occupant no longer resolve. Wrap-around after
-                // GENERATION_LIMIT reuses is documented and accepted.
+                // the layout's generation limit is documented and accepted.
                 let entry = &mut self.slots[slot as usize];
-                entry.generation = (entry.generation + 1) % GENERATION_LIMIT;
+                entry.generation = (entry.generation + 1) % self.layout.generation_limit();
                 slot
             }
             None => {
                 assert!(
-                    self.slots.len() < MAX_SLOTS,
-                    "node arena exhausted: {MAX_SLOTS} simultaneously live slots"
+                    self.slots.len() < self.layout.max_slots(),
+                    "node arena exhausted: {} simultaneously live slots",
+                    self.layout.max_slots()
                 );
                 self.slots.push(Slot {
                     generation: 0,
@@ -179,17 +329,25 @@ impl NodeArena {
                 (self.slots.len() - 1) as u32
             }
         };
-        let id = pack(slot, self.slots[slot as usize].generation);
+        let id = self.layout.pack(slot, self.slots[slot as usize].generation);
         self.slots[slot as usize].node = Some(make_node(id));
         self.live_pos[slot as usize] = self.live.len() as u32;
         self.live.push(slot);
-        id
+        (id, slot)
+    }
+
+    /// [`NodeArena::insert_at`] returning only the identifier.
+    pub fn insert(&mut self, make_node: impl FnOnce(NodeId) -> ProtocolNode) -> NodeId {
+        self.insert_at(make_node).0
     }
 
     /// Removes the node with the given identifier. Returns `false` when the
     /// identifier is stale or the slot is already dead.
     pub fn remove(&mut self, id: NodeId) -> bool {
-        let (slot, generation) = unpack(id);
+        let (slot, tag, generation) = self.layout.unpack(id);
+        if tag != self.layout.tag {
+            return false;
+        }
         match self.slots.get(slot as usize) {
             Some(entry) if entry.generation == generation && entry.node.is_some() => {
                 self.remove_slot(slot);
@@ -208,6 +366,18 @@ impl NodeArena {
     pub fn remove_live_at(&mut self, pos: usize) {
         let slot = self.live[pos];
         self.remove_slot(slot);
+    }
+
+    /// Removes the live occupant of `slot`. Returns `false` when the slot is
+    /// dead or out of bounds.
+    pub fn remove_slot_checked(&mut self, slot: u32) -> bool {
+        match self.slots.get(slot as usize) {
+            Some(entry) if entry.node.is_some() => {
+                self.remove_slot(slot);
+                true
+            }
+            _ => false,
+        }
     }
 
     fn remove_slot(&mut self, slot: u32) {
@@ -264,8 +434,9 @@ mod tests {
         let newcomer = arena.insert(|id| make(id, 42.0));
         assert_eq!(arena.slot_capacity(), 3, "slot was reused, not appended");
         assert_eq!(arena.free_slots(), 0);
-        let (slot, generation) = unpack(newcomer);
+        let (slot, tag, generation) = arena.layout().unpack(newcomer);
         assert_eq!(slot, 1);
+        assert_eq!(tag, 0);
         assert_eq!(generation, 1);
         assert_eq!(arena.get(newcomer).unwrap().local_value(), 42.0);
     }
@@ -333,22 +504,82 @@ mod tests {
     fn generation_wraps_instead_of_overflowing() {
         let mut arena = NodeArena::new();
         let mut id = arena.insert(|id| make(id, 0.0));
-        for _ in 0..GENERATION_LIMIT {
+        for _ in 0..IdLayout::single().generation_limit() {
             arena.remove(id);
             id = arena.insert(|id| make(id, 0.0));
         }
-        // After GENERATION_LIMIT reuses the generation is back to its start
-        // value + 1; the arena still has exactly one slot and one live node.
+        // After the generation limit the counter is back to its start value
+        // + 1; the arena still has exactly one slot and one live node.
         assert_eq!(arena.slot_capacity(), 1);
         assert_eq!(arena.len(), 1);
         assert!(arena.get(id).is_some());
     }
 
     #[test]
-    fn pack_unpack_round_trip() {
-        for (slot, generation) in [(0, 0), (1, 1), (SLOT_MASK, 5), (123_456, 2_047)] {
-            let id = pack(slot, generation);
-            assert_eq!(unpack(id), (slot, generation));
+    fn pack_unpack_round_trip_single_layout() {
+        let layout = IdLayout::single();
+        for (slot, generation) in [(0, 0), (1, 1), ((1 << SLOT_BITS) - 1, 5), (123_456, 2_047)] {
+            let id = layout.pack(slot, generation);
+            assert_eq!(layout.unpack(id), (slot, 0, generation));
         }
+    }
+
+    #[test]
+    fn pack_unpack_round_trip_sharded_layout() {
+        for shard in [0u32, 1, 7, 15] {
+            let layout = IdLayout::sharded(shard);
+            for (slot, generation) in [(0, 0), (1, 3), ((1 << SHARDED_SLOT_BITS) - 1, 255)] {
+                let id = layout.pack(slot, generation);
+                assert_eq!(layout.unpack(id), (slot, shard, generation));
+                assert_eq!(IdLayout::shard_of(id), shard);
+            }
+        }
+    }
+
+    #[test]
+    fn cross_shard_identifiers_do_not_resolve() {
+        let mut a = NodeArena::with_layout(IdLayout::sharded(0));
+        let mut b = NodeArena::with_layout(IdLayout::sharded(1));
+        let id_a = a.insert(|id| make(id, 1.0));
+        let id_b = b.insert(|id| make(id, 2.0));
+        assert_ne!(id_a, id_b);
+        assert_eq!(IdLayout::shard_of(id_a), 0);
+        assert_eq!(IdLayout::shard_of(id_b), 1);
+        // Same slot index, different shard tag: must not alias.
+        assert!(a.get(id_b).is_none());
+        assert!(b.get(id_a).is_none());
+        assert!(!a.remove(id_b));
+        assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn pair_mut_returns_disjoint_borrows_in_caller_order() {
+        let (mut arena, ids) = arena_with(3);
+        arena.remove(ids[1]);
+        {
+            let (x, y) = arena.pair_mut(2, 0);
+            assert_eq!(x.unwrap().local_value(), 2.0);
+            assert_eq!(y.unwrap().local_value(), 0.0);
+        }
+        let (x, y) = arena.pair_mut(1, 2);
+        assert!(x.is_none(), "dead slot yields None");
+        assert_eq!(y.unwrap().local_value(), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct slots")]
+    fn pair_mut_rejects_identical_slots() {
+        let (mut arena, _) = arena_with(2);
+        let _ = arena.pair_mut(1, 1);
+    }
+
+    #[test]
+    fn remove_slot_checked_handles_dead_and_out_of_range_slots() {
+        let (mut arena, ids) = arena_with(2);
+        assert!(arena.remove_slot_checked(0));
+        assert!(!arena.remove_slot_checked(0), "already dead");
+        assert!(!arena.remove_slot_checked(99), "out of range");
+        assert_eq!(arena.len(), 1);
+        assert!(arena.get(ids[1]).is_some());
     }
 }

@@ -19,10 +19,10 @@
 //! (same mathematics, no message objects); see [`crate::runner`].
 
 use crate::arena::NodeArena;
-use crate::{NetworkConditions, SeedSequence};
+use crate::{NetworkConditions, SeedSequence, SimConfigError};
 use aggregate_core::node::ProtocolNode;
 use aggregate_core::size_estimation::{self, LeaderPolicy};
-use aggregate_core::ProtocolConfig;
+use aggregate_core::{ExchangeCore, ExchangeTally, GossipMessage, ProtocolConfig};
 use gossip_analysis::OnlineStats;
 use overlay_topology::NodeId;
 use rand::rngs::StdRng;
@@ -51,6 +51,25 @@ impl SimulationConfig {
             conditions: NetworkConditions::reliable(),
             leader_policy: None,
         }
+    }
+
+    /// Validates this configuration together with the initial population it
+    /// is about to be run on.
+    ///
+    /// # Errors
+    ///
+    /// [`SimConfigError::ZeroNodes`] for an empty population,
+    /// [`SimConfigError::NonFiniteInitialValue`] for NaN/infinite initial
+    /// values and [`SimConfigError::InvalidConditions`] for failure
+    /// parameters that are not probabilities.
+    pub fn validate(&self, initial_values: &[f64]) -> Result<(), SimConfigError> {
+        if !self.conditions.is_valid() {
+            return Err(SimConfigError::InvalidConditions {
+                message_loss: self.conditions.message_loss,
+                crash_fraction: self.conditions.crash_fraction,
+            });
+        }
+        crate::error::validate_initial_values(initial_values)
     }
 }
 
@@ -94,11 +113,18 @@ pub struct GossipSimulation {
     cycle: usize,
     rng: StdRng,
     last_size_estimate: Option<f64>,
+    scratch_pushes: Vec<GossipMessage>,
+    scratch_replies: Vec<GossipMessage>,
 }
 
 impl GossipSimulation {
     /// Creates a simulation with one node per initial value, all present from
     /// epoch 0, using the given master seed.
+    ///
+    /// This permissive constructor accepts any input (including an empty
+    /// population — useful for degenerate-case tests); use
+    /// [`GossipSimulation::try_new`] to validate the configuration with a
+    /// typed error instead.
     pub fn new(config: SimulationConfig, initial_values: &[f64], master_seed: u64) -> Self {
         let mut arena = NodeArena::new();
         for &v in initial_values {
@@ -110,9 +136,28 @@ impl GossipSimulation {
             cycle: 0,
             rng: SeedSequence::new(master_seed).rng_for_run(0),
             last_size_estimate: None,
+            scratch_pushes: Vec::new(),
+            scratch_replies: Vec::new(),
         };
         sim.elect_leaders();
         sim
+    }
+
+    /// Validating variant of [`GossipSimulation::new`], mirroring the
+    /// [`crate::AsyncSimulation::new`] pattern: rejects an empty population,
+    /// non-finite initial values and invalid failure conditions at
+    /// construction.
+    ///
+    /// # Errors
+    ///
+    /// See [`SimulationConfig::validate`].
+    pub fn try_new(
+        config: SimulationConfig,
+        initial_values: &[f64],
+        master_seed: u64,
+    ) -> Result<Self, SimConfigError> {
+        config.validate(initial_values)?;
+        Ok(GossipSimulation::new(config, initial_values, master_seed))
     }
 
     /// Number of live nodes.
@@ -215,10 +260,18 @@ impl GossipSimulation {
     }
 
     /// Runs one full protocol cycle and returns its summary.
+    ///
+    /// The per-exchange node stepping is [`ExchangeCore`] — the same
+    /// implementation the event-driven and sharded engines drive. This
+    /// reference engine deliberately runs the full message path
+    /// ([`ExchangeCore::begin`]/[`ExchangeCore::respond`]/
+    /// [`ExchangeCore::complete`], the code a live transport exercises)
+    /// rather than the fused fast path; the loss-draw order and arithmetic
+    /// are bit-identical to the pre-extraction engine, which
+    /// `tests/determinism.rs` pins.
     pub fn run_cycle(&mut self) -> CycleSummary {
         let conditions = self.config.conditions;
-        let mut exchanges = 0usize;
-        let mut messages_lost = 0usize;
+        let mut tally = ExchangeTally::default();
 
         // Active phase: every live node initiates one exchange, in random
         // order (the GETPAIR_SEQ schedule realised by a distributed system).
@@ -232,35 +285,36 @@ impl GossipSimulation {
                 continue;
             };
             let peer_id = self.arena.id_at_slot(peer_slot);
-            let pushes = self
-                .arena
+            let arena = &mut self.arena;
+            let rng = &mut self.rng;
+            let initiator = arena
                 .node_at_slot_mut(initiator_slot)
-                .expect("checked above")
-                .begin_exchange(peer_id);
-            if pushes.is_empty() {
+                .expect("checked above");
+            if !ExchangeCore::begin(initiator, peer_id, &mut self.scratch_pushes) {
                 continue;
             }
-            exchanges += 1;
-            for push in pushes {
-                if conditions.message_lost(&mut self.rng) {
-                    messages_lost += 1;
-                    continue;
-                }
-                let reply = match self.arena.node_at_slot_mut(peer_slot) {
-                    Some(peer) => peer.handle_message(push),
-                    None => continue,
-                };
-                if let Some(reply) = reply {
-                    if conditions.message_lost(&mut self.rng) {
-                        messages_lost += 1;
-                        continue;
-                    }
-                    if let Some(initiator) = self.arena.node_at_slot_mut(initiator_slot) {
-                        initiator.handle_message(reply);
-                    }
-                }
-            }
+            tally.exchanges += 1;
+            self.scratch_replies.clear();
+            let mut lost = || conditions.message_lost(rng);
+            let peer = arena
+                .node_at_slot_mut(peer_slot)
+                .expect("live within cycle");
+            ExchangeCore::respond(
+                peer,
+                &self.scratch_pushes,
+                &mut self.scratch_replies,
+                &mut lost,
+                &mut tally,
+            );
+            let initiator = arena
+                .node_at_slot_mut(initiator_slot)
+                .expect("checked above");
+            ExchangeCore::complete(initiator, &self.scratch_replies);
         }
+        let ExchangeTally {
+            exchanges,
+            messages_lost,
+        } = tally;
 
         // End-of-cycle phase: epoch book-keeping on every live node.
         let mut completed_epoch = None;
@@ -701,6 +755,36 @@ mod tests {
             "estimate {estimate} should approximate the surviving {}",
             n - 1
         );
+    }
+
+    #[test]
+    fn try_new_rejects_invalid_configurations_with_typed_errors() {
+        let config = averaging_config(10);
+        assert_eq!(
+            GossipSimulation::try_new(config, &[], 1).err(),
+            Some(SimConfigError::ZeroNodes)
+        );
+        assert!(matches!(
+            GossipSimulation::try_new(config, &[1.0, f64::NAN], 1).err(),
+            Some(SimConfigError::NonFiniteInitialValue { index: 1, .. })
+        ));
+        assert!(matches!(
+            GossipSimulation::try_new(config, &[1.0, f64::NEG_INFINITY, 2.0], 1).err(),
+            Some(SimConfigError::NonFiniteInitialValue { index: 1, .. })
+        ));
+        let bad_conditions = SimulationConfig {
+            conditions: NetworkConditions::with_message_loss(1.5),
+            ..config
+        };
+        assert!(matches!(
+            GossipSimulation::try_new(bad_conditions, &[1.0], 1).err(),
+            Some(SimConfigError::InvalidConditions { .. })
+        ));
+        // A valid configuration behaves exactly like the permissive
+        // constructor (same seed, same trajectory).
+        let mut checked = GossipSimulation::try_new(config, &[1.0, 5.0], 7).unwrap();
+        let mut plain = GossipSimulation::new(config, &[1.0, 5.0], 7);
+        assert_eq!(checked.run(3), plain.run(3));
     }
 
     #[test]

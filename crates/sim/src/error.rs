@@ -1,0 +1,207 @@
+//! Typed configuration and run errors for the simulation engines.
+
+use aggregate_core::AggregationError;
+use std::fmt;
+
+/// A rejected simulation configuration.
+///
+/// Mirrors the [`crate::AsyncConfigError`] pattern of the event-driven
+/// engine: every constructor that can be handed nonsense validates at
+/// construction and reports *which* parameter was rejected, instead of
+/// producing NaN telemetry or a wedged run thousands of cycles later.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SimConfigError {
+    /// The initial population is empty.
+    ZeroNodes,
+    /// A run of zero cycles was requested.
+    ZeroCycles,
+    /// An initial value is NaN or infinite — it would poison every estimate
+    /// it is ever averaged into.
+    NonFiniteInitialValue {
+        /// Position of the rejected value in the initial-value slice.
+        index: usize,
+        /// The rejected value.
+        value: f64,
+    },
+    /// The failure conditions are not valid probabilities.
+    InvalidConditions {
+        /// The rejected message-loss probability.
+        message_loss: f64,
+        /// The rejected crash fraction.
+        crash_fraction: f64,
+    },
+    /// A sharded engine with zero shards was requested.
+    ZeroShards,
+    /// An explicit worker-thread count of zero was requested.
+    ZeroWorkers,
+    /// More shards than the [`crate::arena::IdLayout`] shard bits can
+    /// address.
+    TooManyShards {
+        /// The rejected shard count.
+        shards: usize,
+        /// The maximum supported shard count.
+        max: usize,
+    },
+    /// The initial population does not fit in the configured shards' slot
+    /// space.
+    PopulationExceedsCapacity {
+        /// The rejected population size.
+        nodes: usize,
+        /// Total slots addressable by the configured shard count.
+        capacity: usize,
+    },
+}
+
+impl fmt::Display for SimConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            SimConfigError::ZeroNodes => write!(f, "initial population must not be empty"),
+            SimConfigError::ZeroCycles => write!(f, "a run must simulate at least one cycle"),
+            SimConfigError::NonFiniteInitialValue { index, value } => {
+                write!(f, "initial value #{index} is {value}, which is not finite")
+            }
+            SimConfigError::InvalidConditions {
+                message_loss,
+                crash_fraction,
+            } => write!(
+                f,
+                "network conditions invalid: message loss {message_loss} and crash fraction \
+                 {crash_fraction} must be probabilities in [0, 1]"
+            ),
+            SimConfigError::ZeroShards => write!(f, "sharded engine needs at least one shard"),
+            SimConfigError::ZeroWorkers => {
+                write!(f, "sharded engine needs at least one worker thread")
+            }
+            SimConfigError::TooManyShards { shards, max } => {
+                write!(
+                    f,
+                    "{shards} shards exceed the {max} the NodeId layout can address"
+                )
+            }
+            SimConfigError::PopulationExceedsCapacity { nodes, capacity } => {
+                write!(
+                    f,
+                    "{nodes} initial nodes exceed the {capacity} slots the configured shards \
+                     can address"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimConfigError {}
+
+/// Validates an initial-value population: non-empty and finite throughout.
+///
+/// # Errors
+///
+/// [`SimConfigError::ZeroNodes`] or
+/// [`SimConfigError::NonFiniteInitialValue`].
+pub(crate) fn validate_initial_values(values: &[f64]) -> Result<(), SimConfigError> {
+    if values.is_empty() {
+        return Err(SimConfigError::ZeroNodes);
+    }
+    for (index, &value) in values.iter().enumerate() {
+        if !value.is_finite() {
+            return Err(SimConfigError::NonFiniteInitialValue { index, value });
+        }
+    }
+    Ok(())
+}
+
+/// Any error a simulation run can produce: a rejected configuration or a
+/// protocol-level error bubbled up from `aggregate-core`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// The simulation configuration was rejected.
+    Config(SimConfigError),
+    /// The protocol configuration or execution failed.
+    Protocol(AggregationError),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Config(e) => write!(f, "simulation configuration rejected: {e}"),
+            SimError::Protocol(e) => write!(f, "protocol error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Config(e) => Some(e),
+            SimError::Protocol(e) => Some(e),
+        }
+    }
+}
+
+impl From<SimConfigError> for SimError {
+    fn from(e: SimConfigError) -> Self {
+        SimError::Config(e)
+    }
+}
+
+impl From<AggregationError> for SimError {
+    fn from(e: AggregationError) -> Self {
+        SimError::Protocol(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_value_validation_reports_the_offender() {
+        assert_eq!(validate_initial_values(&[]), Err(SimConfigError::ZeroNodes));
+        assert!(validate_initial_values(&[1.0, -2.5, 0.0]).is_ok());
+        match validate_initial_values(&[0.0, f64::NAN]) {
+            Err(SimConfigError::NonFiniteInitialValue { index: 1, value }) => {
+                assert!(value.is_nan());
+            }
+            other => panic!("expected NonFiniteInitialValue, got {other:?}"),
+        }
+        assert_eq!(
+            validate_initial_values(&[f64::INFINITY]),
+            Err(SimConfigError::NonFiniteInitialValue {
+                index: 0,
+                value: f64::INFINITY,
+            })
+        );
+    }
+
+    #[test]
+    fn errors_render_useful_messages() {
+        for error in [
+            SimConfigError::ZeroNodes,
+            SimConfigError::ZeroCycles,
+            SimConfigError::NonFiniteInitialValue {
+                index: 3,
+                value: f64::INFINITY,
+            },
+            SimConfigError::InvalidConditions {
+                message_loss: 1.5,
+                crash_fraction: 0.0,
+            },
+            SimConfigError::ZeroShards,
+            SimConfigError::ZeroWorkers,
+            SimConfigError::TooManyShards {
+                shards: 99,
+                max: 16,
+            },
+            SimConfigError::PopulationExceedsCapacity {
+                nodes: 2_000_000,
+                capacity: 1_048_576,
+            },
+        ] {
+            assert!(!error.to_string().is_empty());
+            let wrapped = SimError::from(error);
+            assert!(wrapped.to_string().contains("configuration rejected"));
+            assert!(std::error::Error::source(&wrapped).is_some());
+        }
+        let protocol = SimError::from(AggregationError::invalid_config("boom"));
+        assert!(protocol.to_string().contains("boom"));
+    }
+}

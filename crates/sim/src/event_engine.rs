@@ -11,7 +11,7 @@
 //! synchronisation assumption can be relaxed.
 
 use aggregate_core::node::ProtocolNode;
-use aggregate_core::{GossipMessage, ProtocolConfig};
+use aggregate_core::{ExchangeCore, GossipMessage, ProtocolConfig};
 use overlay_topology::NodeId;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -209,6 +209,7 @@ pub struct AsyncSimulation {
     now: f64,
     sequence: u64,
     rng: StdRng,
+    scratch: Vec<GossipMessage>,
 }
 
 impl AsyncSimulation {
@@ -238,6 +239,7 @@ impl AsyncSimulation {
             now: 0.0,
             sequence: 0,
             rng: StdRng::seed_from_u64(seed),
+            scratch: Vec::new(),
         };
         for i in 0..sim.nodes.len() {
             let t = sim.config.wakeup.first_wakeup(&mut sim.rng);
@@ -323,11 +325,13 @@ impl AsyncSimulation {
                             break candidate;
                         }
                     };
-                    let pushes = self.nodes[node_id.index()].begin_exchange(peer);
-                    for push in pushes {
+                    let mut pushes = std::mem::take(&mut self.scratch);
+                    ExchangeCore::begin(&mut self.nodes[node_id.index()], peer, &mut pushes);
+                    for push in pushes.drain(..) {
                         let delay = self.config.message_latency;
                         self.schedule(self.now + delay, Event::Deliver(push));
                     }
+                    self.scratch = pushes;
                     // One wakeup is one local cycle for the epoch machinery.
                     self.nodes[node_id.index()].end_cycle();
                 }
@@ -339,7 +343,9 @@ impl AsyncSimulation {
                 if recipient.index() >= self.nodes.len() {
                     return;
                 }
-                if let Some(reply) = self.nodes[recipient.index()].handle_message(message) {
+                if let Some(reply) =
+                    ExchangeCore::deliver(&mut self.nodes[recipient.index()], message)
+                {
                     self.schedule(
                         self.now + self.config.message_latency,
                         Event::Deliver(reply),

@@ -11,6 +11,12 @@
 //!   leader election — the engine behind the Figure 4 reproduction. Node
 //!   state lives in a slot-reclaiming, generation-tagged [`arena::NodeArena`],
 //!   so indefinite churn runs in memory bounded by the peak live size;
+//! * a **sharded multi-threaded engine** ([`ShardedSimulation`]) that
+//!   partitions the arena into per-shard sub-arenas and executes each cycle
+//!   across worker threads with a deterministic round/mailbox protocol —
+//!   bit-identical per (seed, shard count), node values invariant across
+//!   shard counts — the engine behind the million-node epochs
+//!   (`examples/million_node.rs`);
 //! * an **event-driven engine** ([`AsyncSimulation`]) with per-node clocks and
 //!   message latency, validating that convergence does not depend on the
 //!   synchronisation assumption of the analysis;
@@ -53,16 +59,20 @@ pub mod arena;
 mod churn;
 mod conditions;
 mod engine;
+mod error;
 mod event_engine;
 mod rng;
 pub mod runner;
+pub mod sharded;
 mod values;
 
 pub use churn::ChurnSchedule;
 pub use conditions::NetworkConditions;
 pub use engine::{CycleSummary, GossipSimulation, SimulationConfig};
+pub use error::{SimConfigError, SimError};
 pub use event_engine::{
     AsyncConfig, AsyncConfigError, AsyncSimulation, TimeSample, WakeupDistribution,
 };
 pub use rng::SeedSequence;
+pub use sharded::{ShardedConfig, ShardedCycleSummary, ShardedSimulation};
 pub use values::ValueDistribution;

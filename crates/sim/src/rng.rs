@@ -41,18 +41,30 @@ impl SeedSequence {
 
     /// Returns the RNG for run number `run`.
     pub fn rng_for_run(&self, run: u64) -> StdRng {
-        StdRng::seed_from_u64(Self::mix(self.master_seed, run))
+        StdRng::seed_from_u64(self.seed_for_run(run))
+    }
+
+    /// The raw 64-bit seed behind [`SeedSequence::rng_for_run`] — for callers
+    /// that derive further sub-streams (e.g. one RNG per exchange in the
+    /// sharded engine) instead of instantiating an RNG directly.
+    pub fn seed_for_run(&self, run: u64) -> u64 {
+        Self::mix(self.master_seed, run)
     }
 
     /// Returns the RNG for a named sub-experiment of a run (e.g. separate
     /// streams for topology construction and protocol execution).
     pub fn rng_for_labeled(&self, run: u64, label: &str) -> StdRng {
+        StdRng::seed_from_u64(self.seed_for_labeled(run, label))
+    }
+
+    /// The raw 64-bit seed behind [`SeedSequence::rng_for_labeled`].
+    pub fn seed_for_labeled(&self, run: u64, label: &str) -> u64 {
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;
         for byte in label.as_bytes() {
             h ^= u64::from(*byte);
             h = h.wrapping_mul(0x1000_0000_01b3);
         }
-        StdRng::seed_from_u64(Self::mix(self.master_seed ^ h, run))
+        Self::mix(self.master_seed ^ h, run)
     }
 
     /// SplitMix64-style mixing so nearby seeds produce unrelated streams.

@@ -1,0 +1,1336 @@
+//! Sharded, multi-threaded cycle engine with bit-deterministic results.
+//!
+//! The round-synchronous model of the paper is embarrassingly parallel
+//! *within* a cycle: each push–pull exchange touches exactly two nodes, so
+//! exchanges over disjoint node pairs commute. [`ShardedSimulation`] exploits
+//! that to run million-node epochs across all cores while keeping the two
+//! properties a reproduction engine cannot give up:
+//!
+//! 1. **Same seed + same shard count → bit-identical runs**, independent of
+//!    thread scheduling.
+//! 2. **Node trajectories are independent of the shard count.** The exchange
+//!    schedule (initiator order, peer choice, per-exchange loss draws, churn
+//!    victims, leader elections) is derived from shard-count-agnostic RNG
+//!    streams over a *global* directory of live nodes, and the execution
+//!    order is equivalent to applying the schedule sequentially. Running the
+//!    same seed with 1 or 8 shards yields bit-identical node estimates;
+//!    only cross-shard *telemetry reductions* (mean/variance merges) may
+//!    differ, and only in floating-point summation order. (The sole
+//!    exception: multi-instance epochs under message loss, where loss draws
+//!    are consumed in instance order and led-instance tags differ across
+//!    shard counts; the determinism suite pins the invariant for the
+//!    loss-free and single-instance settings.)
+//!
+//! # How a cycle executes
+//!
+//! A coordinator pass derives the cycle's schedule: every live node
+//! initiates once, in a shuffled order realising `GETPAIR_SEQ`, against a
+//! uniformly drawn peer. Each exchange is then assigned a **round**: the
+//! earliest round in which neither endpoint is used by an earlier exchange
+//! (`round = 1 + max(last_round(initiator), last_round(peer))`). Within a
+//! round all exchanges are node-disjoint, so they may execute concurrently
+//! in any order; across rounds, barriers enforce the dependency order. The
+//! result is *exactly* the state the sequential schedule produces, which is
+//! what makes node values shard-count invariant.
+//!
+//! Each round runs as a deterministic two-phase (plus apply) protocol per
+//! shard worker:
+//!
+//! * **phase A** — exchanges whose endpoints are both shard-local run fused
+//!   ([`ExchangeCore::exchange`]); for cross-shard pairs the initiator's
+//!   pushes are batched into the peer shard's mailbox (`crossbeam`
+//!   channels);
+//! * **phase B** — each shard drains its mailbox, sorts the batches by
+//!   global sequence number (the fixed merge order) and lets the peers
+//!   absorb and reply ([`ExchangeCore::respond`]); surviving replies are
+//!   batched back to the initiators' shards;
+//! * **phase C** — initiator shards apply the replies
+//!   ([`ExchangeCore::complete`]).
+//!
+//! Per-cycle telemetry is accumulated in per-shard [`OnlineStats`] and
+//! merged in shard order (Chan's parallel Welford update), so a million-node
+//! cycle streams no per-node vectors through a single accumulator.
+
+use crate::arena::{IdLayout, NodeArena, MAX_SHARDS};
+use crate::{NetworkConditions, SeedSequence, SimConfigError, SimulationConfig};
+use aggregate_core::node::ProtocolNode;
+use aggregate_core::size_estimation;
+use aggregate_core::{ExchangeCore, ExchangeScratch, ExchangeTally, GossipMessage, InstanceTag};
+use gossip_analysis::OnlineStats;
+use overlay_topology::NodeId;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::sync::Barrier;
+
+/// Configuration of a [`ShardedSimulation`]: the engine-agnostic simulation
+/// parameters plus the shard count.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardedConfig {
+    /// Protocol, failure and leader-election parameters (shared with the
+    /// single-threaded reference engine).
+    pub base: SimulationConfig,
+    /// Number of shards (data partitions). Each shard owns a sub-arena of
+    /// nodes and its own [`crate::arena::IdLayout`] identifier space. The
+    /// shard count is part of the deterministic contract: same seed + same
+    /// shard count → bit-identical runs.
+    pub shards: usize,
+    /// Worker threads executing the shards; `None` (the default) uses
+    /// `min(shards, available cores)`. Workers are an *execution* resource,
+    /// not a semantic one: any worker count produces bit-identical results
+    /// for a given shard count, so the engine can saturate whatever
+    /// hardware it lands on — including the degenerate single-core case,
+    /// where one worker applies the schedule sequentially with fused
+    /// exchanges and skips the mailbox machinery entirely.
+    ///
+    /// The multi-worker executor spawns its threads and mailbox channels
+    /// per cycle (scoped threads cannot outlive a `run_cycle` call), a
+    /// fixed setup cost of a few hundred microseconds. It is noise at the
+    /// ≥10⁵-node scales this engine targets but dominates toy runs; for
+    /// multicore machines driving small populations, `Some(1)` removes it.
+    pub workers: Option<usize>,
+}
+
+impl ShardedConfig {
+    /// Plain averaging over a reliable network with the given shard count
+    /// and automatic worker selection.
+    pub fn averaging(protocol: aggregate_core::ProtocolConfig, shards: usize) -> Self {
+        ShardedConfig {
+            base: SimulationConfig::averaging(protocol),
+            shards,
+            workers: None,
+        }
+    }
+
+    /// Validates the configuration together with its initial population.
+    ///
+    /// # Errors
+    ///
+    /// [`SimConfigError::ZeroShards`] / [`SimConfigError::TooManyShards`] /
+    /// [`SimConfigError::ZeroWorkers`] for an unusable shard or worker
+    /// count, plus every check of [`SimulationConfig::validate`].
+    pub fn validate(&self, initial_values: &[f64]) -> Result<(), SimConfigError> {
+        if self.shards == 0 {
+            return Err(SimConfigError::ZeroShards);
+        }
+        if self.shards > MAX_SHARDS {
+            return Err(SimConfigError::TooManyShards {
+                shards: self.shards,
+                max: MAX_SHARDS,
+            });
+        }
+        if self.workers == Some(0) {
+            return Err(SimConfigError::ZeroWorkers);
+        }
+        let capacity = self.shards * IdLayout::sharded(0).max_slots();
+        if initial_values.len() > capacity {
+            return Err(SimConfigError::PopulationExceedsCapacity {
+                nodes: initial_values.len(),
+                capacity,
+            });
+        }
+        self.base.validate(initial_values)
+    }
+}
+
+/// Summary of one sharded cycle.
+///
+/// Unlike [`crate::CycleSummary`] this reports epoch results as streaming
+/// statistics instead of raw per-node vectors — at 10⁶ nodes a single
+/// epoch's estimate vector would be 8 MB per completing cycle.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardedCycleSummary {
+    /// Cycle index (0-based, global).
+    pub cycle: usize,
+    /// Number of live nodes at the end of the cycle.
+    pub live_nodes: usize,
+    /// Number of push–pull exchanges initiated.
+    pub exchanges: usize,
+    /// Number of messages dropped by the loss model.
+    pub messages_lost: usize,
+    /// Mean of the default-instance estimates over live nodes.
+    pub estimate_mean: f64,
+    /// Variance of the default-instance estimates over live nodes.
+    pub estimate_variance: f64,
+    /// The epoch that completed at the end of this cycle, if any.
+    pub completed_epoch: Option<u64>,
+    /// Statistics over the converged default-instance estimates of nodes
+    /// that participated in the full epoch (empty unless an epoch
+    /// completed).
+    pub epoch_estimates: OnlineStats,
+    /// Statistics over the converged network-size estimates (empty unless an
+    /// epoch completed and size estimation is enabled).
+    pub epoch_size_estimates: OnlineStats,
+    /// Exchanges initiated per shard this cycle — the load-balance signal
+    /// recorded by the bench CSV artifacts.
+    pub shard_exchanges: Vec<usize>,
+}
+
+/// One exchange of the cycle schedule.
+#[derive(Debug, Clone, Copy)]
+struct ScheduledExchange {
+    initiator: NodeId,
+    peer: NodeId,
+    round: u32,
+}
+
+/// Reusable buffers of the per-cycle schedule.
+#[derive(Debug, Default)]
+struct ScheduleBuffers {
+    /// Shuffled global positions — the initiator order.
+    order: Vec<u32>,
+    /// The cycle's exchanges in global sequence order.
+    exchanges: Vec<ScheduledExchange>,
+    /// Per global position: the next free round for that node.
+    next_round: Vec<u32>,
+    /// Counting-sort scratch: per (round, shard) bucket starts (length
+    /// `rounds * shards + 1`) and the exchange indices grouped by bucket.
+    bucket_starts: Vec<u32>,
+    bucket_items: Vec<u32>,
+}
+
+impl ScheduleBuffers {
+    fn bucket(&self, round: usize, shard: usize, shards: usize) -> &[u32] {
+        let b = round * shards + shard;
+        let start = self.bucket_starts[b] as usize;
+        let end = self.bucket_starts[b + 1] as usize;
+        &self.bucket_items[start..end]
+    }
+}
+
+/// A cross-shard push batch: one entry per initiated exchange, carrying the
+/// initiator's pushes to the peer's shard.
+#[derive(Debug)]
+struct CrossPush {
+    /// Global sequence number of the exchange (the fixed merge order key).
+    seq: u32,
+    initiator: NodeId,
+    peer_slot: u32,
+    /// First push inline (the common single-instance case allocates
+    /// nothing); further pushes spill into `rest`.
+    first: GossipMessage,
+    rest: Vec<GossipMessage>,
+}
+
+/// A cross-shard reply batch routed back to the initiator's shard.
+#[derive(Debug)]
+struct CrossReply {
+    seq: u32,
+    initiator_slot: u32,
+    first: GossipMessage,
+    rest: Vec<GossipMessage>,
+}
+
+/// Node state owned by one shard.
+#[derive(Debug)]
+struct Shard {
+    arena: NodeArena,
+    /// Per slot: position of the occupant in the global live directory.
+    global_pos: Vec<u32>,
+}
+
+impl Shard {
+    fn set_global_pos(&mut self, slot: u32, pos: u32) {
+        let slot = slot as usize;
+        if slot >= self.global_pos.len() {
+            self.global_pos.resize(slot + 1, u32::MAX);
+        }
+        self.global_pos[slot] = pos;
+    }
+}
+
+/// Per-shard, per-cycle output, merged by the coordinator in shard order.
+#[derive(Debug, Default)]
+struct ShardCycleOut {
+    tally: ExchangeTally,
+    completed_epoch: Option<u64>,
+    epoch_stats: OnlineStats,
+    size_stats: OnlineStats,
+    estimate_stats: OnlineStats,
+}
+
+/// The sharded multi-threaded cycle engine. See the module documentation for
+/// the execution and determinism model.
+#[derive(Debug)]
+pub struct ShardedSimulation {
+    config: ShardedConfig,
+    shards: Vec<Shard>,
+    /// Dense directory of all live nodes, in join order with swap-remove
+    /// holes. Every scheduling decision (initiator order, peer picks, churn
+    /// victims, election draws) is made over this directory, which evolves
+    /// identically for every shard count — the root of the shard-count
+    /// invariance of node values.
+    global_live: Vec<NodeId>,
+    cycle: usize,
+    seeds: SeedSequence,
+    churn_rng: StdRng,
+    elections: u64,
+    last_size_estimate: Option<f64>,
+    shard_exchange_totals: Vec<usize>,
+    sched: ScheduleBuffers,
+}
+
+/// Lazily seeded per-exchange loss model: free when the loss probability is
+/// zero, and a deterministic function of the exchange's sequence number
+/// otherwise — identical no matter which thread (or which side of a
+/// cross-shard mailbox) consumes the draws.
+fn exchange_loss(conditions: NetworkConditions, seed: u64) -> impl FnMut() -> bool {
+    let mut rng: Option<StdRng> = None;
+    move || {
+        if conditions.message_loss <= 0.0 {
+            return false;
+        }
+        let rng = rng.get_or_insert_with(|| StdRng::seed_from_u64(seed));
+        conditions.message_lost(rng)
+    }
+}
+
+impl ShardedSimulation {
+    /// Creates a sharded simulation with one node per initial value
+    /// (distributed round-robin over the shards), all present from epoch 0.
+    ///
+    /// # Errors
+    ///
+    /// See [`ShardedConfig::validate`].
+    pub fn new(
+        config: ShardedConfig,
+        initial_values: &[f64],
+        master_seed: u64,
+    ) -> Result<Self, SimConfigError> {
+        config.validate(initial_values)?;
+        let shard_count = config.shards;
+        let mut shards: Vec<Shard> = (0..shard_count)
+            .map(|s| Shard {
+                arena: NodeArena::with_layout(IdLayout::sharded(s as u32)),
+                global_pos: Vec::new(),
+            })
+            .collect();
+        let mut global_live = Vec::with_capacity(initial_values.len());
+        let protocol = config.base.protocol;
+        for (i, &value) in initial_values.iter().enumerate() {
+            let shard = &mut shards[i % shard_count];
+            let (id, slot) = shard
+                .arena
+                .insert_at(|id| ProtocolNode::new(id, protocol, value));
+            shard.set_global_pos(slot, global_live.len() as u32);
+            global_live.push(id);
+        }
+        let seeds = SeedSequence::new(master_seed);
+        let mut sim = ShardedSimulation {
+            config,
+            shards,
+            global_live,
+            cycle: 0,
+            seeds,
+            churn_rng: seeds.rng_for_labeled(0, "sharded-churn"),
+            elections: 0,
+            last_size_estimate: None,
+            shard_exchange_totals: vec![0; shard_count],
+            sched: ScheduleBuffers::default(),
+        };
+        sim.elect_leaders();
+        Ok(sim)
+    }
+
+    /// Number of live nodes.
+    pub fn live_count(&self) -> usize {
+        self.global_live.len()
+    }
+
+    /// The current cycle index.
+    pub fn cycle(&self) -> usize {
+        self.cycle
+    }
+
+    /// The configured shard count.
+    pub fn shards(&self) -> usize {
+        self.config.shards
+    }
+
+    /// Total allocated node slots across all sub-arenas (live +
+    /// reclaimable) — the engine's resident-footprint high-water mark.
+    pub fn slot_capacity(&self) -> usize {
+        self.shards.iter().map(|s| s.arena.slot_capacity()).sum()
+    }
+
+    /// Total dead slots currently awaiting reuse across all sub-arenas.
+    pub fn free_slot_count(&self) -> usize {
+        self.shards.iter().map(|s| s.arena.free_slots()).sum()
+    }
+
+    /// Number of live nodes per shard (the load-balance view).
+    pub fn shard_live_counts(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| s.arena.len()).collect()
+    }
+
+    /// Total exchanges initiated per shard since construction — the
+    /// accumulated load-balance telemetry [`crate::runner::ChurnReport`]
+    /// records.
+    pub fn shard_exchange_totals(&self) -> &[usize] {
+        &self.shard_exchange_totals
+    }
+
+    /// The most recent pooled network-size estimate, if any epoch completed.
+    pub fn last_size_estimate(&self) -> Option<f64> {
+        self.last_size_estimate
+    }
+
+    /// Read access to a node. Returns `None` for departed nodes and stale
+    /// identifiers.
+    pub fn node(&self, id: NodeId) -> Option<&ProtocolNode> {
+        let shard = IdLayout::shard_of(id) as usize;
+        self.shards.get(shard)?.arena.get(id)
+    }
+
+    /// Current default-instance estimates of all live nodes, in global
+    /// directory order — a shard-count invariant ordering, which is what
+    /// lets the determinism suite compare runs across shard counts
+    /// bit-for-bit.
+    pub fn estimates(&self) -> Vec<f64> {
+        self.global_live
+            .iter()
+            .filter_map(|&id| self.node(id))
+            .filter_map(|node| node.estimate())
+            .collect()
+    }
+
+    /// Current local attribute values of all live nodes, in global directory
+    /// order.
+    pub fn local_values(&self) -> Vec<f64> {
+        self.global_live
+            .iter()
+            .filter_map(|&id| self.node(id))
+            .map(|node| node.local_value())
+            .collect()
+    }
+
+    /// Adds a node with the given local value. The node is routed to the
+    /// least-loaded shard (lowest index on ties — deterministic) and joins
+    /// passively until the next epoch starts, exactly as in the reference
+    /// engine.
+    pub fn add_node(&mut self, local_value: f64) -> NodeId {
+        let cycles_per_epoch = self.config.base.protocol.cycles_per_epoch() as usize;
+        let cycle_in_epoch = self.cycle % cycles_per_epoch;
+        let cycles_until_start = (cycles_per_epoch - cycle_in_epoch) as u32;
+        let next_epoch = (self.cycle / cycles_per_epoch) as u64 + 1;
+        let protocol = self.config.base.protocol;
+        let shard_idx = (0..self.shards.len())
+            .min_by_key(|&s| (self.shards[s].arena.len(), s))
+            .expect("at least one shard");
+        let shard = &mut self.shards[shard_idx];
+        let (id, slot) = shard.arena.insert_at(|id| {
+            ProtocolNode::joining(id, protocol, local_value, next_epoch, cycles_until_start)
+        });
+        shard.set_global_pos(slot, self.global_live.len() as u32);
+        self.global_live.push(id);
+        id
+    }
+
+    /// Removes a specific node. Returns `true` if the node was live; stale
+    /// identifiers are rejected.
+    pub fn remove_node(&mut self, id: NodeId) -> bool {
+        let shard = IdLayout::shard_of(id) as usize;
+        if shard >= self.shards.len() {
+            return false;
+        }
+        if !self.shards[shard].arena.remove(id) {
+            return false;
+        }
+        let slot = IdLayout::sharded_slot_of(id);
+        let pos = self.shards[shard].global_pos[slot as usize];
+        self.remove_global_at(pos as usize);
+        true
+    }
+
+    /// Removes `count` uniformly random live nodes (churn schedules, crash
+    /// experiments). The victim sequence is drawn from a dedicated stream
+    /// over the global directory, so it is identical for every shard count.
+    pub fn remove_random_nodes(&mut self, count: usize) -> usize {
+        let mut removed = 0;
+        for _ in 0..count {
+            if self.global_live.is_empty() {
+                break;
+            }
+            let pos = self.churn_rng.gen_range(0..self.global_live.len());
+            let id = self.global_live[pos];
+            let shard = IdLayout::shard_of(id) as usize;
+            let slot = IdLayout::sharded_slot_of(id);
+            self.shards[shard].arena.remove_slot_checked(slot);
+            self.remove_global_at(pos);
+            removed += 1;
+        }
+        removed
+    }
+
+    fn remove_global_at(&mut self, pos: usize) {
+        self.global_live.swap_remove(pos);
+        if pos < self.global_live.len() {
+            let moved = self.global_live[pos];
+            let shard = IdLayout::shard_of(moved) as usize;
+            let slot = IdLayout::sharded_slot_of(moved) as usize;
+            self.shards[shard].global_pos[slot] = pos as u32;
+        }
+    }
+
+    /// Runs `cycles` consecutive cycles, returning all summaries.
+    pub fn run(&mut self, cycles: usize) -> Vec<ShardedCycleSummary> {
+        (0..cycles).map(|_| self.run_cycle()).collect()
+    }
+
+    /// The worker-thread count the next cycle will execute on.
+    pub fn effective_workers(&self) -> usize {
+        let auto = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
+        self.config
+            .workers
+            .unwrap_or(auto)
+            .clamp(1, self.config.shards)
+    }
+
+    /// Runs one full protocol cycle across the shard workers and returns its
+    /// summary.
+    pub fn run_cycle(&mut self) -> ShardedCycleSummary {
+        let shard_count = self.config.shards;
+        let outs = if self.effective_workers() == 1 {
+            self.run_cycle_sequential()
+        } else {
+            self.run_cycle_threaded()
+        };
+
+        // Merge the per-shard outputs in shard order: integer counters sum
+        // exactly; statistics merge via the parallel Welford update, whose
+        // floating-point result depends on the merge order — fixed here, and
+        // the only place where runs with different shard counts may differ.
+        let mut tally = ExchangeTally::default();
+        let mut estimate_stats = OnlineStats::new();
+        let mut epoch_stats = OnlineStats::new();
+        let mut size_stats = OnlineStats::new();
+        let mut completed_epoch = None;
+        let mut shard_exchanges = Vec::with_capacity(shard_count);
+        for (shard, out) in outs.iter().enumerate() {
+            tally.exchanges += out.tally.exchanges;
+            tally.messages_lost += out.tally.messages_lost;
+            shard_exchanges.push(out.tally.exchanges);
+            self.shard_exchange_totals[shard] += out.tally.exchanges;
+            estimate_stats.merge(&out.estimate_stats);
+            epoch_stats.merge(&out.epoch_stats);
+            size_stats.merge(&out.size_stats);
+            completed_epoch = match (completed_epoch, out.completed_epoch) {
+                (Some(a), Some(b)) => Some(std::cmp::max::<u64>(a, b)),
+                (a, b) => a.or(b),
+            };
+        }
+
+        if size_stats.count() > 0 {
+            self.last_size_estimate = Some(size_stats.mean());
+        }
+        if completed_epoch.is_some() {
+            self.elect_leaders();
+        }
+
+        let summary = ShardedCycleSummary {
+            cycle: self.cycle,
+            live_nodes: self.global_live.len(),
+            exchanges: tally.exchanges,
+            messages_lost: tally.messages_lost,
+            estimate_mean: estimate_stats.mean(),
+            estimate_variance: estimate_stats.sample_variance(),
+            completed_epoch,
+            epoch_estimates: epoch_stats,
+            epoch_size_estimates: size_stats,
+            shard_exchanges,
+        };
+        self.cycle += 1;
+        summary
+    }
+
+    /// Single-worker executor: applies the cycle's schedule sequentially in
+    /// global sequence order with fused exchanges. By the round-equivalence
+    /// argument (see the module docs) this is bit-identical to the threaded
+    /// executor for the same shard count — `tests/determinism.rs` and the
+    /// unit tests pin it — while skipping the round computation, mailboxes
+    /// and barriers that only pay off with real parallelism.
+    fn run_cycle_sequential(&mut self) -> Vec<ShardCycleOut> {
+        let shard_count = self.config.shards;
+        let conditions = self.config.base.conditions;
+        let lossy = conditions.message_loss > 0.0;
+        let loss_seeds =
+            SeedSequence::new(self.seeds.seed_for_labeled(self.cycle as u64, "cycle-loss"));
+        let n = self.global_live.len();
+        let mut rng = self
+            .seeds
+            .rng_for_labeled(self.cycle as u64, "cycle-schedule");
+        let order = &mut self.sched.order;
+        order.clear();
+        order.extend(0..n as u32);
+        order.shuffle(&mut rng);
+
+        let mut tallies = vec![ExchangeTally::default(); shard_count];
+        let mut scratch = ExchangeScratch::new();
+        let shards = &mut self.shards;
+        let global_live = &self.global_live;
+        // Exchanges are executed in blocks: peers for the whole block are
+        // drawn first (the same draw sequence as one-at-a-time), then every
+        // endpoint node is *touched* with plain reads, then the block runs.
+        // The touch pass issues up to 2·BLOCK independent loads whose cache
+        // misses overlap, where the execute pass alone would serialise one
+        // ~L3-latency miss pair per exchange — at 10⁵–10⁶ nodes the node
+        // array is far beyond L2 and this roughly halves the cycle time.
+        const BLOCK: usize = 64;
+        let mut block: Vec<(NodeId, NodeId)> = Vec::with_capacity(BLOCK);
+        if n >= 2 {
+            let mut start = 0usize;
+            while start < n {
+                let end = (start + BLOCK).min(n);
+                block.clear();
+                for &ipos in &order[start..end] {
+                    let ppos = loop {
+                        let candidate = rng.gen_range(0..n) as u32;
+                        if candidate != ipos {
+                            break candidate;
+                        }
+                    };
+                    block.push((global_live[ipos as usize], global_live[ppos as usize]));
+                }
+                let mut warm = 0u64;
+                for &(initiator_id, peer_id) in &block {
+                    for id in [initiator_id, peer_id] {
+                        let shard = IdLayout::shard_of(id) as usize;
+                        let slot = IdLayout::sharded_slot_of(id);
+                        if let Some(node) = shards[shard].arena.node_at_slot(slot) {
+                            // One read per cache line the fused exchange
+                            // needs (epoch state, instance state, led-map
+                            // root), so the execute pass below hits L1.
+                            warm ^= node.current_epoch();
+                            warm ^= node.estimate().unwrap_or(0.0).to_bits();
+                            warm ^= u64::from(node.has_only_default_instance());
+                        }
+                    }
+                }
+                std::hint::black_box(warm);
+                for (offset, &(initiator_id, peer_id)) in block.iter().enumerate() {
+                    let seq = start + offset;
+                    let initiator_shard = IdLayout::shard_of(initiator_id) as usize;
+                    let peer_shard = IdLayout::shard_of(peer_id) as usize;
+                    let initiator_slot = IdLayout::sharded_slot_of(initiator_id);
+                    let peer_slot = IdLayout::sharded_slot_of(peer_id);
+                    let (initiator, peer) = if initiator_shard == peer_shard {
+                        shards[initiator_shard]
+                            .arena
+                            .pair_mut(initiator_slot, peer_slot)
+                    } else {
+                        let (a, b) = shard_pair_mut(shards, initiator_shard, peer_shard);
+                        (
+                            a.arena.node_at_slot_mut(initiator_slot),
+                            b.arena.node_at_slot_mut(peer_slot),
+                        )
+                    };
+                    let (Some(initiator), Some(peer)) = (initiator, peer) else {
+                        continue;
+                    };
+                    let seed = if lossy {
+                        loss_seeds.seed_for_run(seq as u64)
+                    } else {
+                        0
+                    };
+                    let mut lost = exchange_loss(conditions, seed);
+                    ExchangeCore::exchange(
+                        initiator,
+                        peer,
+                        &mut scratch,
+                        &mut lost,
+                        &mut tallies[initiator_shard],
+                    );
+                }
+                start = end;
+            }
+        }
+        shards
+            .iter_mut()
+            .zip(tallies)
+            .map(|(shard, tally)| end_of_cycle_pass(shard, tally))
+            .collect()
+    }
+
+    /// Multi-worker executor: the deterministic round/mailbox protocol from
+    /// the module docs, with the shards partitioned into contiguous chunks
+    /// over the worker threads.
+    fn run_cycle_threaded(&mut self) -> Vec<ShardCycleOut> {
+        let rounds = self.build_schedule();
+        let shard_count = self.config.shards;
+        let workers = self.effective_workers();
+        let conditions = self.config.base.conditions;
+        let loss_seed_base = self.seeds.seed_for_labeled(self.cycle as u64, "cycle-loss");
+
+        let mut outs: Vec<ShardCycleOut> =
+            (0..shard_count).map(|_| ShardCycleOut::default()).collect();
+        let barrier = Barrier::new(workers);
+        let (push_txs, push_rxs): (Vec<_>, Vec<_>) = (0..shard_count)
+            .map(|_| crossbeam::channel::unbounded::<Vec<CrossPush>>())
+            .unzip();
+        let (reply_txs, reply_rxs): (Vec<_>, Vec<_>) = (0..shard_count)
+            .map(|_| crossbeam::channel::unbounded::<Vec<CrossReply>>())
+            .unzip();
+
+        // Contiguous shard chunks per worker, sized as evenly as possible.
+        let base_chunk = shard_count / workers;
+        let remainder = shard_count % workers;
+        let sched = &self.sched;
+        std::thread::scope(|scope| {
+            let mut shards_rest = self.shards.as_mut_slice();
+            let mut outs_rest = outs.as_mut_slice();
+            let mut rx_rest: Vec<_> = push_rxs.into_iter().zip(reply_rxs).collect();
+            let mut first_shard = 0usize;
+            for worker in 0..workers {
+                let chunk_len = base_chunk + usize::from(worker < remainder);
+                let (shards_chunk, tail) = shards_rest.split_at_mut(chunk_len);
+                shards_rest = tail;
+                let (outs_chunk, tail) = outs_rest.split_at_mut(chunk_len);
+                outs_rest = tail;
+                let receivers: Vec<_> = rx_rest.drain(..chunk_len).collect();
+                let push_txs = push_txs.clone();
+                let reply_txs = reply_txs.clone();
+                let barrier = &barrier;
+                let chunk_start = first_shard;
+                first_shard += chunk_len;
+                scope.spawn(move || {
+                    run_shard_worker(ShardWorker {
+                        chunk_start,
+                        shards_chunk,
+                        outs_chunk,
+                        receivers,
+                        sched,
+                        rounds,
+                        shard_count,
+                        conditions,
+                        loss_seed_base,
+                        barrier,
+                        push_txs,
+                        reply_txs,
+                    });
+                });
+            }
+        });
+        outs
+    }
+
+    /// Derives the cycle's exchange schedule and its round structure. All
+    /// RNG draws here run over global directory positions — shard-count
+    /// agnostic by construction.
+    fn build_schedule(&mut self) -> usize {
+        let n = self.global_live.len();
+        let shard_count = self.config.shards;
+        let mut rng = self
+            .seeds
+            .rng_for_labeled(self.cycle as u64, "cycle-schedule");
+        let sched = &mut self.sched;
+
+        sched.order.clear();
+        sched.order.extend(0..n as u32);
+        sched.order.shuffle(&mut rng);
+        sched.exchanges.clear();
+        sched.next_round.clear();
+        sched.next_round.resize(n, 0);
+
+        let mut rounds = 0u32;
+        if n >= 2 {
+            sched.exchanges.reserve(n);
+            for i in 0..n {
+                let ipos = sched.order[i];
+                let ppos = loop {
+                    let candidate = rng.gen_range(0..n) as u32;
+                    if candidate != ipos {
+                        break candidate;
+                    }
+                };
+                let round = sched.next_round[ipos as usize].max(sched.next_round[ppos as usize]);
+                sched.next_round[ipos as usize] = round + 1;
+                sched.next_round[ppos as usize] = round + 1;
+                rounds = rounds.max(round + 1);
+                sched.exchanges.push(ScheduledExchange {
+                    initiator: self.global_live[ipos as usize],
+                    peer: self.global_live[ppos as usize],
+                    round,
+                });
+            }
+        }
+
+        // Counting sort of the exchanges into (round, initiator-shard)
+        // buckets, preserving global sequence order within each bucket.
+        let buckets = rounds as usize * shard_count;
+        sched.bucket_starts.clear();
+        sched.bucket_starts.resize(buckets + 1, 0);
+        for ex in &sched.exchanges {
+            let b = ex.round as usize * shard_count + IdLayout::shard_of(ex.initiator) as usize;
+            sched.bucket_starts[b + 1] += 1;
+        }
+        for b in 0..buckets {
+            sched.bucket_starts[b + 1] += sched.bucket_starts[b];
+        }
+        let mut cursors: Vec<u32> = sched.bucket_starts[..buckets].to_vec();
+        sched.bucket_items.clear();
+        sched.bucket_items.resize(sched.exchanges.len(), 0);
+        for (i, ex) in sched.exchanges.iter().enumerate() {
+            let b = ex.round as usize * shard_count + IdLayout::shard_of(ex.initiator) as usize;
+            sched.bucket_items[cursors[b] as usize] = i as u32;
+            cursors[b] += 1;
+        }
+        rounds as usize
+    }
+
+    /// Leader (re-)election for the counting instances, run over the global
+    /// directory with an election-ordinal-derived stream — identical draws
+    /// for every shard count.
+    fn elect_leaders(&mut self) {
+        let Some(policy) = self.config.base.leader_policy else {
+            return;
+        };
+        let previous = self.last_size_estimate;
+        let mut rng = self.seeds.rng_for_labeled(self.elections, "election");
+        self.elections += 1;
+        let mut any_leader = false;
+        for pos in 0..self.global_live.len() {
+            let id = self.global_live[pos];
+            let shard = IdLayout::shard_of(id) as usize;
+            if let Some(node) = self.shards[shard].arena.get_mut(id) {
+                if size_estimation::elect_leader(node, policy, previous, &mut rng) {
+                    any_leader = true;
+                }
+            }
+        }
+        // Guarantee progress exactly as the reference engine does: promote
+        // the first live node (global order — shard-count invariant).
+        if !any_leader {
+            if let Some(&id) = self.global_live.first() {
+                let shard = IdLayout::shard_of(id) as usize;
+                if let Some(node) = self.shards[shard].arena.get_mut(id) {
+                    node.start_led_instance(InstanceTag::from_leader(node.id()), 1.0);
+                }
+            }
+        }
+    }
+}
+
+/// Renders a run's per-cycle telemetry as a [`gossip_analysis::Table`] —
+/// one row per cycle with throughput-relevant counters, the merged estimate
+/// statistics and the per-shard load split. `Table::to_csv` /
+/// `Table::write_csv` turn it into the artifact the bench harness and the
+/// million-node example record.
+pub fn cycle_telemetry_table(summaries: &[ShardedCycleSummary]) -> gossip_analysis::Table {
+    let mut table = gossip_analysis::Table::new(vec![
+        "cycle",
+        "live_nodes",
+        "exchanges",
+        "messages_lost",
+        "estimate_mean",
+        "estimate_variance",
+        "completed_epoch",
+        "shard_exchanges",
+    ]);
+    for summary in summaries {
+        table.add_row(vec![
+            summary.cycle.to_string(),
+            summary.live_nodes.to_string(),
+            summary.exchanges.to_string(),
+            summary.messages_lost.to_string(),
+            format!("{:.9e}", summary.estimate_mean),
+            format!("{:.9e}", summary.estimate_variance),
+            summary
+                .completed_epoch
+                .map_or_else(|| "-".to_string(), |e| e.to_string()),
+            summary
+                .shard_exchanges
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join("|"),
+        ]);
+    }
+    table
+}
+
+/// Disjoint mutable borrows of two distinct shards.
+fn shard_pair_mut(shards: &mut [Shard], a: usize, b: usize) -> (&mut Shard, &mut Shard) {
+    debug_assert_ne!(a, b);
+    if a < b {
+        let (lo, hi) = shards.split_at_mut(b);
+        (&mut lo[a], &mut hi[0])
+    } else {
+        let (lo, hi) = shards.split_at_mut(a);
+        (&mut hi[0], &mut lo[b])
+    }
+}
+
+/// End-of-cycle phase for one shard: epoch book-keeping on every live node,
+/// then the telemetry pass — both shard-local, streamed into per-shard
+/// stats. Shared verbatim by the sequential and threaded executors so their
+/// outputs are bit-identical.
+fn end_of_cycle_pass(shard: &mut Shard, tally: ExchangeTally) -> ShardCycleOut {
+    let mut completed_epoch = None;
+    let mut epoch_stats = OnlineStats::new();
+    let mut size_stats = OnlineStats::new();
+    let mut estimate_stats = OnlineStats::new();
+    // One fused pass: tick the epoch machinery and read the (post-restart)
+    // estimate while the node is cache-hot. Per-node independence makes this
+    // bit-identical to a tick-all-then-read-all split in live order.
+    for pos in 0..shard.arena.len() {
+        let slot = shard.arena.live_slots()[pos];
+        let Some(node) = shard.arena.node_at_slot_mut(slot) else {
+            continue;
+        };
+        if let Some(result) = node.end_cycle() {
+            completed_epoch = Some(match completed_epoch {
+                Some(epoch) => std::cmp::max::<u64>(epoch, result.epoch),
+                None => result.epoch,
+            });
+            if result.full_participation {
+                if let Some(estimate) = result.default_estimate() {
+                    epoch_stats.push(estimate);
+                }
+                if let Some(size) = size_estimation::size_estimate_from_epoch(&result) {
+                    size_stats.push(size);
+                }
+            }
+        }
+        if let Some(estimate) = node.estimate() {
+            estimate_stats.push(estimate);
+        }
+    }
+    ShardCycleOut {
+        tally,
+        completed_epoch,
+        epoch_stats,
+        size_stats,
+        estimate_stats,
+    }
+}
+
+/// A shard's mailbox receivers: push batches in, reply batches back.
+type ShardReceivers = (
+    crossbeam::channel::Receiver<Vec<CrossPush>>,
+    crossbeam::channel::Receiver<Vec<CrossReply>>,
+);
+
+/// Everything one worker thread needs for one cycle: a contiguous chunk of
+/// shards (with their output slots and mailbox receivers) plus the shared
+/// schedule and channel fabric.
+struct ShardWorker<'a> {
+    chunk_start: usize,
+    shards_chunk: &'a mut [Shard],
+    outs_chunk: &'a mut [ShardCycleOut],
+    receivers: Vec<ShardReceivers>,
+    sched: &'a ScheduleBuffers,
+    rounds: usize,
+    shard_count: usize,
+    conditions: NetworkConditions,
+    loss_seed_base: u64,
+    barrier: &'a Barrier,
+    push_txs: Vec<crossbeam::channel::Sender<Vec<CrossPush>>>,
+    reply_txs: Vec<crossbeam::channel::Sender<Vec<CrossReply>>>,
+}
+
+fn run_shard_worker(ctx: ShardWorker<'_>) {
+    let ShardWorker {
+        chunk_start,
+        shards_chunk,
+        outs_chunk,
+        receivers,
+        sched,
+        rounds,
+        shard_count,
+        conditions,
+        loss_seed_base,
+        barrier,
+        push_txs,
+        reply_txs,
+    } = ctx;
+    let lossy = conditions.message_loss > 0.0;
+    let loss_seeds = SeedSequence::new(loss_seed_base);
+    let seed_of = |seq: u32| {
+        if lossy {
+            loss_seeds.seed_for_run(seq as u64)
+        } else {
+            0
+        }
+    };
+
+    let mut scratch = ExchangeScratch::new();
+    let mut tallies = vec![ExchangeTally::default(); shards_chunk.len()];
+    let mut begin_buf: Vec<GossipMessage> = Vec::new();
+    let mut msg_buf: Vec<GossipMessage> = Vec::new();
+    let mut reply_buf: Vec<GossipMessage> = Vec::new();
+    let mut push_out: Vec<Vec<CrossPush>> = (0..shard_count).map(|_| Vec::new()).collect();
+    let mut reply_out: Vec<Vec<CrossReply>> = (0..shard_count).map(|_| Vec::new()).collect();
+    let mut in_pushes: Vec<CrossPush> = Vec::new();
+    let mut in_replies: Vec<CrossReply> = Vec::new();
+
+    for round in 0..rounds {
+        // Phase A: local exchanges run fused; cross-shard exchanges begin
+        // and batch their pushes into the peer shard's mailbox. A pair whose
+        // endpoints live in two shards of *this* worker's chunk still goes
+        // through the mailbox, keeping the protocol uniform.
+        for (local, shard) in shards_chunk.iter_mut().enumerate() {
+            let me = chunk_start + local;
+            let tally = &mut tallies[local];
+            for &ei in sched.bucket(round, me, shard_count) {
+                let ex = sched.exchanges[ei as usize];
+                let initiator_slot = IdLayout::sharded_slot_of(ex.initiator);
+                let peer_shard = IdLayout::shard_of(ex.peer) as usize;
+                if peer_shard == me {
+                    let peer_slot = IdLayout::sharded_slot_of(ex.peer);
+                    let (Some(initiator), Some(peer)) =
+                        shard.arena.pair_mut(initiator_slot, peer_slot)
+                    else {
+                        continue;
+                    };
+                    let mut lost = exchange_loss(conditions, seed_of(ei));
+                    ExchangeCore::exchange(initiator, peer, &mut scratch, &mut lost, tally);
+                } else {
+                    let Some(initiator) = shard.arena.node_at_slot_mut(initiator_slot) else {
+                        continue;
+                    };
+                    if ExchangeCore::begin(initiator, ex.peer, &mut begin_buf) {
+                        tally.exchanges += 1;
+                        push_out[peer_shard].push(CrossPush {
+                            seq: ei,
+                            initiator: ex.initiator,
+                            peer_slot: IdLayout::sharded_slot_of(ex.peer),
+                            first: begin_buf[0],
+                            rest: begin_buf[1..].to_vec(),
+                        });
+                    }
+                }
+            }
+        }
+        for (dst, buf) in push_out.iter_mut().enumerate() {
+            if !buf.is_empty() {
+                push_txs[dst]
+                    .send(std::mem::take(buf))
+                    .expect("peer shard receiver lives for the whole cycle");
+            }
+        }
+        barrier.wait();
+
+        // Phase B: drain each owned shard's mailbox (complete after the
+        // barrier), flatten the batches and restore the fixed merge order —
+        // a total order by global sequence number — then absorb pushes and
+        // batch replies back. (Within a round node-disjointness already
+        // makes the node state order-independent; the total order keeps the
+        // execution auditable and future-proofs any per-shard state
+        // consulted during the merge.)
+        for (local, shard) in shards_chunk.iter_mut().enumerate() {
+            let tally = &mut tallies[local];
+            in_pushes.clear();
+            while let Ok(batch) = receivers[local].0.try_recv() {
+                in_pushes.extend(batch);
+            }
+            in_pushes.sort_unstable_by_key(|cross| cross.seq);
+            for cross in &in_pushes {
+                let Some(peer) = shard.arena.node_at_slot_mut(cross.peer_slot) else {
+                    continue;
+                };
+                msg_buf.clear();
+                msg_buf.push(cross.first);
+                msg_buf.extend_from_slice(&cross.rest);
+                reply_buf.clear();
+                let mut lost = exchange_loss(conditions, seed_of(cross.seq));
+                ExchangeCore::respond(peer, &msg_buf, &mut reply_buf, &mut lost, tally);
+                if !reply_buf.is_empty() {
+                    let initiator_shard = IdLayout::shard_of(cross.initiator) as usize;
+                    reply_out[initiator_shard].push(CrossReply {
+                        seq: cross.seq,
+                        initiator_slot: IdLayout::sharded_slot_of(cross.initiator),
+                        first: reply_buf[0],
+                        rest: reply_buf[1..].to_vec(),
+                    });
+                }
+            }
+        }
+        for (dst, buf) in reply_out.iter_mut().enumerate() {
+            if !buf.is_empty() {
+                reply_txs[dst]
+                    .send(std::mem::take(buf))
+                    .expect("initiator shard receiver lives for the whole cycle");
+            }
+        }
+        barrier.wait();
+
+        // Phase C: initiators absorb the surviving replies, in merge order.
+        for (local, shard) in shards_chunk.iter_mut().enumerate() {
+            in_replies.clear();
+            while let Ok(batch) = receivers[local].1.try_recv() {
+                in_replies.extend(batch);
+            }
+            in_replies.sort_unstable_by_key(|cross| cross.seq);
+            for cross in &in_replies {
+                let Some(initiator) = shard.arena.node_at_slot_mut(cross.initiator_slot) else {
+                    continue;
+                };
+                msg_buf.clear();
+                msg_buf.push(cross.first);
+                msg_buf.extend_from_slice(&cross.rest);
+                ExchangeCore::complete(initiator, &msg_buf);
+            }
+        }
+        barrier.wait();
+    }
+
+    for ((shard, out), tally) in shards_chunk
+        .iter_mut()
+        .zip(outs_chunk.iter_mut())
+        .zip(tallies)
+    {
+        *out = end_of_cycle_pass(shard, tally);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aggregate_core::config::LateJoinPolicy;
+    use aggregate_core::size_estimation::LeaderPolicy;
+    use aggregate_core::ProtocolConfig;
+
+    fn averaging(shards: usize, cycles_per_epoch: u32) -> ShardedConfig {
+        ShardedConfig::averaging(
+            ProtocolConfig::builder()
+                .cycles_per_epoch(cycles_per_epoch)
+                .build()
+                .unwrap(),
+            shards,
+        )
+    }
+
+    #[test]
+    fn validation_rejects_bad_shard_counts_and_inputs() {
+        let values = [1.0, 2.0];
+        assert_eq!(
+            ShardedSimulation::new(averaging(0, 10), &values, 1).err(),
+            Some(SimConfigError::ZeroShards)
+        );
+        assert_eq!(
+            ShardedSimulation::new(averaging(17, 10), &values, 1).err(),
+            Some(SimConfigError::TooManyShards {
+                shards: 17,
+                max: MAX_SHARDS,
+            })
+        );
+        assert_eq!(
+            ShardedSimulation::new(averaging(2, 10), &[], 1).err(),
+            Some(SimConfigError::ZeroNodes)
+        );
+        assert!(matches!(
+            ShardedSimulation::new(averaging(2, 10), &[1.0, f64::NAN], 1).err(),
+            Some(SimConfigError::NonFiniteInitialValue { index: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn estimates_converge_to_the_true_average_across_shards() {
+        let values: Vec<f64> = (0..500).map(|i| i as f64).collect();
+        let true_mean = aggregate_core::avg::mean(&values);
+        let mut sim = ShardedSimulation::new(averaging(4, 40), &values, 1).unwrap();
+        let summaries = sim.run(20);
+        let last = summaries.last().unwrap();
+        assert!(
+            last.estimate_variance < 1e-4,
+            "variance {}",
+            last.estimate_variance
+        );
+        assert!((last.estimate_mean - true_mean).abs() < 1e-6);
+        assert_eq!(sim.live_count(), 500);
+        assert_eq!(sim.cycle(), 20);
+        assert_eq!(last.exchanges, 500);
+        // Round-robin placement keeps the shards balanced.
+        assert_eq!(sim.shard_live_counts(), vec![125; 4]);
+        assert_eq!(last.shard_exchanges.iter().sum::<usize>(), 500);
+    }
+
+    #[test]
+    fn variance_reduction_matches_the_sequential_rate() {
+        // The sharded engine realises the same GETPAIR_SEQ schedule as the
+        // reference engine, so the per-cycle variance reduction must hover
+        // around 1/(2√e) ≈ 0.303 on the complete overlay.
+        let values: Vec<f64> = (0..5_000).map(|i| (i % 100) as f64).collect();
+        let mut sim = ShardedSimulation::new(averaging(4, 100), &values, 7).unwrap();
+        let summaries = sim.run(8);
+        let mut factors = Vec::new();
+        for pair in summaries.windows(2) {
+            if pair[0].estimate_variance > 1e-12 {
+                factors.push(pair[1].estimate_variance / pair[0].estimate_variance);
+            }
+        }
+        let mean_factor = factors.iter().sum::<f64>() / factors.len() as f64;
+        assert!(
+            (mean_factor - aggregate_core::theory::seq_rate()).abs() < 0.06,
+            "mean per-cycle reduction {mean_factor}"
+        );
+    }
+
+    #[test]
+    fn mean_is_preserved_without_failures() {
+        let values: Vec<f64> = (0..200).map(|i| (i % 17) as f64).collect();
+        let true_mean = aggregate_core::avg::mean(&values);
+        let mut sim = ShardedSimulation::new(averaging(3, 50), &values, 3).unwrap();
+        for summary in sim.run(10) {
+            assert!(
+                (summary.estimate_mean - true_mean).abs() < 1e-9,
+                "cycle {}: mean drifted to {}",
+                summary.cycle,
+                summary.estimate_mean
+            );
+            assert_eq!(summary.exchanges, 200);
+            assert_eq!(summary.messages_lost, 0);
+        }
+    }
+
+    #[test]
+    fn message_loss_is_deterministic_and_does_not_prevent_convergence() {
+        let values: Vec<f64> = (0..300).map(|i| i as f64).collect();
+        let config = ShardedConfig {
+            base: SimulationConfig {
+                conditions: NetworkConditions::with_message_loss(0.2),
+                ..SimulationConfig::averaging(
+                    ProtocolConfig::builder()
+                        .cycles_per_epoch(100)
+                        .build()
+                        .unwrap(),
+                )
+            },
+            shards: 2,
+            workers: None,
+        };
+        let mut sim = ShardedSimulation::new(config, &values, 11).unwrap();
+        let summaries = sim.run(15);
+        assert!(summaries.iter().any(|s| s.messages_lost > 0));
+        let last = summaries.last().unwrap();
+        assert!(
+            last.estimate_variance < 1.0,
+            "got {}",
+            last.estimate_variance
+        );
+    }
+
+    #[test]
+    fn epochs_complete_and_report_converged_estimates() {
+        let values = vec![0.0, 10.0, 20.0, 30.0];
+        let mut sim = ShardedSimulation::new(averaging(2, 10), &values, 5).unwrap();
+        let mut epoch_seen = false;
+        for summary in sim.run(10) {
+            if let Some(epoch) = summary.completed_epoch {
+                assert_eq!(epoch, 0);
+                assert_eq!(summary.epoch_estimates.count(), 4);
+                assert!((summary.epoch_estimates.mean() - 15.0).abs() < 0.5);
+                epoch_seen = true;
+            }
+        }
+        assert!(epoch_seen, "an epoch must complete after 10 cycles");
+    }
+
+    #[test]
+    fn size_estimation_tracks_the_population() {
+        let n = 400;
+        let config = ShardedConfig {
+            base: SimulationConfig {
+                protocol: ProtocolConfig::builder()
+                    .cycles_per_epoch(25)
+                    .late_join(LateJoinPolicy::FixedState(0.0))
+                    .build()
+                    .unwrap(),
+                conditions: NetworkConditions::reliable(),
+                leader_policy: Some(LeaderPolicy::Fixed { probability: 0.01 }),
+            },
+            shards: 4,
+            workers: None,
+        };
+        let mut sim = ShardedSimulation::new(config, &vec![0.0; n], 19).unwrap();
+        let summaries = sim.run(25);
+        let last = summaries.last().unwrap();
+        assert_eq!(last.completed_epoch, Some(0));
+        assert!(last.epoch_size_estimates.count() > 0);
+        let mean = last.epoch_size_estimates.mean();
+        assert!(
+            (mean - n as f64).abs() < n as f64 * 0.05,
+            "size estimate {mean} should be ≈ {n}"
+        );
+        assert!(sim.last_size_estimate().is_some());
+    }
+
+    #[test]
+    fn churn_routes_to_shards_and_keeps_arenas_bounded() {
+        let values = vec![0.0; 200];
+        let mut sim = ShardedSimulation::new(averaging(4, 10), &values, 43).unwrap();
+        for _ in 0..50 {
+            for _ in 0..5 {
+                sim.add_node(0.0);
+            }
+            assert_eq!(sim.remove_random_nodes(5), 5);
+            sim.run_cycle();
+        }
+        assert_eq!(sim.live_count(), 200);
+        assert!(
+            sim.slot_capacity() <= 205,
+            "slot capacity {} must stay bounded",
+            sim.slot_capacity()
+        );
+        // The load balancer keeps shard sizes within the churn amplitude.
+        let counts = sim.shard_live_counts();
+        assert!(counts.iter().all(|&c| (40..=60).contains(&c)), "{counts:?}");
+    }
+
+    #[test]
+    fn joining_nodes_wait_for_the_next_epoch() {
+        let values = vec![5.0; 20];
+        let mut sim = ShardedSimulation::new(averaging(2, 6), &values, 13).unwrap();
+        sim.run(2);
+        let newcomer = sim.add_node(500.0);
+        assert_eq!(sim.live_count(), 21);
+        for summary in sim.run(4) {
+            if summary.completed_epoch.is_some() {
+                assert!((summary.epoch_estimates.mean() - 5.0).abs() < 1e-9);
+            }
+        }
+        let summaries = sim.run(6);
+        let completed: Vec<_> = summaries
+            .iter()
+            .filter(|s| s.completed_epoch.is_some())
+            .collect();
+        assert!(!completed.is_empty());
+        let expected = (5.0 * 20.0 + 500.0) / 21.0;
+        let mean = completed.last().unwrap().epoch_estimates.mean();
+        assert!(
+            (mean - expected).abs() < 1e-6,
+            "epoch mean {mean} must equal the new true average {expected}"
+        );
+        assert!(sim.node(newcomer).is_some());
+    }
+
+    #[test]
+    fn remove_node_rejects_stale_ids_after_slot_reuse() {
+        let values = vec![1.0; 10];
+        let mut sim = ShardedSimulation::new(averaging(2, 5), &values, 41).unwrap();
+        let victim = *sim.global_live.first().unwrap();
+        assert!(sim.remove_node(victim));
+        assert!(!sim.remove_node(victim));
+        assert_eq!(sim.free_slot_count(), 1);
+        let newcomer = sim.add_node(2.0);
+        // The join reclaimed the freed slot instead of growing the arenas…
+        assert_eq!(sim.slot_capacity(), 10);
+        // …and the stale identifier does not alias the new occupant.
+        assert_ne!(victim, newcomer);
+        assert!(sim.node(victim).is_none());
+        assert!(sim.node(newcomer).is_some());
+        assert_eq!(sim.live_count(), 10);
+    }
+
+    #[test]
+    fn tiny_networks_do_not_panic() {
+        let mut sim = ShardedSimulation::new(averaging(2, 3), &[1.0], 29).unwrap();
+        let summary = sim.run_cycle();
+        assert_eq!(summary.exchanges, 0);
+        assert_eq!(summary.live_nodes, 1);
+        assert_eq!(sim.estimates(), vec![1.0]);
+    }
+}

@@ -1,0 +1,146 @@
+//! Million-node epochs through the sharded cycle engine.
+//!
+//! The paper's headline claim is that push–pull epidemic aggregation
+//! converges in a handful of cycles *independently of network size*. This
+//! example validates the claim at the 10⁶-node scale the paper targets: it
+//! runs one full 30-cycle epoch over a million nodes through
+//! [`ShardedSimulation`] and asserts the Section 3 convergence factor — the
+//! per-cycle variance-reduction rate of `GETPAIR_SEQ`, 1/(2√e) ≈ 0.303 —
+//! the same value the 1 000-node runs measure.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example million_node                     # 10⁶ nodes, 30 cycles
+//! cargo run --release --example million_node -- --nodes 100000 --shards 4   # CI smoke scale
+//! cargo run --release --example million_node -- --baseline      # + single-threaded comparison
+//! cargo run --release --example million_node -- --csv out.csv   # record per-cycle telemetry
+//! ```
+
+use epidemic_aggregation::prelude::*;
+use gossip_sim::sharded::cycle_telemetry_table;
+use std::time::Instant;
+
+fn parse_args() -> (usize, usize, usize, Option<String>, bool) {
+    let mut nodes = 1_000_000usize;
+    let mut shards = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(gossip_sim::arena::MAX_SHARDS);
+    let mut cycles = 30usize;
+    let mut csv = None;
+    let mut baseline = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--nodes" => nodes = args.next().and_then(|v| v.parse().ok()).unwrap_or(nodes),
+            "--shards" => shards = args.next().and_then(|v| v.parse().ok()).unwrap_or(shards),
+            "--cycles" => cycles = args.next().and_then(|v| v.parse().ok()).unwrap_or(cycles),
+            "--csv" => csv = args.next(),
+            "--baseline" => baseline = true,
+            other => {
+                eprintln!("ignoring unknown argument {other}");
+            }
+        }
+    }
+    (nodes, shards, cycles, csv, baseline)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (nodes, shards, cycles, csv, baseline) = parse_args();
+    assert!(cycles >= 3, "need a few cycles to measure a reduction rate");
+    let seed = 20040102;
+    println!("million_node: {nodes} nodes, {shards} shards, {cycles} cycles (one epoch)");
+
+    // Deterministic spread of initial values; the true average is known.
+    let values: Vec<f64> = (0..nodes).map(|i| (i % 1_000) as f64).collect();
+    let true_mean = mean(&values);
+
+    let protocol = ProtocolConfig::builder()
+        .cycles_per_epoch(cycles as u32)
+        .build()?;
+    let config = ShardedConfig {
+        base: SimulationConfig::averaging(protocol),
+        shards,
+        workers: None,
+    };
+    let mut sim = ShardedSimulation::new(config, &values, seed)?;
+
+    let started = Instant::now();
+    let summaries = sim.run(cycles);
+    let elapsed = started.elapsed().as_secs_f64();
+    let sharded_rate = cycles as f64 / elapsed;
+    println!(
+        "sharded engine: {elapsed:.2} s for {cycles} cycles at {nodes} nodes \
+         ({sharded_rate:.2} cycles/s, {:.1} M exchanges/s)",
+        summaries.iter().map(|s| s.exchanges).sum::<usize>() as f64 / elapsed / 1e6
+    );
+
+    // Section 3: the per-cycle variance-reduction factor of GETPAIR_SEQ.
+    // The last cycle completes the epoch (instances restart before its
+    // summary is taken), so the factor window excludes it.
+    let mut factors = Vec::new();
+    for pair in summaries[..cycles - 1].windows(2) {
+        if pair[0].estimate_variance > 1e-12 {
+            factors.push(pair[1].estimate_variance / pair[0].estimate_variance);
+        }
+    }
+    let mean_factor = factors.iter().sum::<f64>() / factors.len() as f64;
+    println!(
+        "mean per-cycle variance reduction: {mean_factor:.4} (theory 1/(2*sqrt(e)) = {:.4})",
+        theory::seq_rate()
+    );
+    assert!(
+        (mean_factor - theory::seq_rate()).abs() < 0.05,
+        "size-independent convergence violated: measured {mean_factor} at {nodes} nodes"
+    );
+
+    // The epoch completed: every node participated from the start and
+    // reports a converged estimate of the true average.
+    let last = summaries.last().expect("at least one cycle");
+    assert_eq!(
+        last.completed_epoch,
+        Some(0),
+        "the run spans one full epoch"
+    );
+    assert_eq!(
+        last.epoch_estimates.count() as usize,
+        nodes,
+        "every node reports a converged epoch estimate"
+    );
+    let epoch_mean = last.epoch_estimates.mean();
+    assert!(
+        (epoch_mean - true_mean).abs() < 1e-6 * (1.0 + true_mean.abs()),
+        "epoch mean {epoch_mean} must equal the true average {true_mean}"
+    );
+    let spread = last.epoch_estimates.max().unwrap() - last.epoch_estimates.min().unwrap();
+    println!(
+        "epoch 0 estimates: mean {epoch_mean:.6} (true {true_mean:.6}), max-min spread {spread:.3e}"
+    );
+    assert!(
+        spread < 1.0,
+        "after {cycles} cycles all {nodes} estimates must agree closely, spread {spread}"
+    );
+
+    if let Some(path) = csv {
+        cycle_telemetry_table(&summaries).write_csv(&path)?;
+        println!("per-cycle telemetry written to {path}");
+    }
+
+    if baseline {
+        let mut reference =
+            GossipSimulation::try_new(SimulationConfig::averaging(protocol), &values, seed)?;
+        let started = Instant::now();
+        reference.run(cycles);
+        let ref_elapsed = started.elapsed().as_secs_f64();
+        let reference_rate = cycles as f64 / ref_elapsed;
+        println!(
+            "single-threaded reference: {ref_elapsed:.2} s ({reference_rate:.2} cycles/s) — \
+             sharded speedup {:.2}x",
+            sharded_rate / reference_rate
+        );
+    }
+
+    println!("million_node: OK");
+    Ok(())
+}

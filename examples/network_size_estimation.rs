@@ -14,7 +14,7 @@
 
 use epidemic_aggregation::prelude::*;
 
-fn main() -> Result<(), AggregationError> {
+fn main() -> Result<(), SimError> {
     // 5 000 nodes oscillating between 4 500 and 5 500 with 0.1% turnover per
     // cycle; epochs of 30 cycles, 300 cycles total (10 epochs).
     let scenario = SizeEstimationScenario::figure4_scaled(5_000, 300, 42);

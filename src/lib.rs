@@ -65,7 +65,8 @@ pub mod prelude {
         ChurnReport, ChurnRunner, SizeEstimationScenario, VarianceExperiment,
     };
     pub use gossip_sim::{
-        ChurnSchedule, GossipSimulation, NetworkConditions, SimulationConfig, ValueDistribution,
+        ChurnSchedule, GossipSimulation, NetworkConditions, ShardedConfig, ShardedSimulation,
+        SimConfigError, SimError, SimulationConfig, ValueDistribution,
     };
     pub use overlay_topology::{
         generators, CompleteTopology, Graph, NodeId, Topology, TopologyBuilder, TopologyKind,

@@ -147,6 +147,166 @@ fn churn_runs_with_slot_reuse_are_bit_identical_for_identical_seeds() {
     );
 }
 
+/// Drives a sharded run with churn and message loss: joins and departures
+/// exercise the global directory's swap-remove bookkeeping and the per-shard
+/// free lists; the loss model exercises the per-exchange seeded draws.
+fn sharded_summaries(
+    seed: u64,
+    shards: usize,
+    workers: Option<usize>,
+    message_loss: f64,
+) -> (Vec<gossip_sim::ShardedCycleSummary>, Vec<u64>) {
+    let values: Vec<f64> = (0..300).map(|i| (i % 37) as f64).collect();
+    let protocol = ProtocolConfig::builder()
+        .cycles_per_epoch(8)
+        .build()
+        .unwrap();
+    let config = ShardedConfig {
+        base: SimulationConfig {
+            protocol,
+            conditions: NetworkConditions::with_message_loss(message_loss),
+            leader_policy: None,
+        },
+        shards,
+        workers,
+    };
+    let mut sim = ShardedSimulation::new(config, &values, seed).unwrap();
+    let mut summaries = Vec::new();
+    for cycle in 0..30 {
+        for i in 0..5 {
+            sim.add_node((cycle * 5 + i) as f64);
+        }
+        sim.remove_random_nodes(5);
+        summaries.push(sim.run_cycle());
+    }
+    let bits = sim.estimates().iter().map(|v| v.to_bits()).collect();
+    (summaries, bits)
+}
+
+/// Tentpole pin: the sharded engine is bit-deterministic — same seed, same
+/// shard count, bit-identical cycle summaries (including the merged
+/// floating-point telemetry), regardless of thread scheduling.
+#[test]
+fn sharded_runs_are_bit_identical_for_identical_seeds() {
+    for shards in [1, 3, 8] {
+        let (a, bits_a) = sharded_summaries(2024, shards, None, 0.1);
+        let (b, bits_b) = sharded_summaries(2024, shards, None, 0.1);
+        assert_eq!(a, b, "{shards}-shard runs must be bit-identical");
+        assert_eq!(bits_a, bits_b);
+    }
+    assert_ne!(
+        sharded_summaries(2024, 2, None, 0.1).1,
+        sharded_summaries(2025, 2, None, 0.1).1,
+        "different seeds must explore different schedules"
+    );
+}
+
+/// Worker threads are an execution resource, not a semantic one: for a fixed
+/// shard count, the single-worker sequential executor (fused exchanges, no
+/// mailboxes) and the multi-worker round/mailbox executor must produce
+/// bit-identical summaries — including when workers own several shards each.
+#[test]
+fn worker_count_does_not_change_results_at_all() {
+    let (reference, reference_bits) = sharded_summaries(31, 4, Some(1), 0.1);
+    for workers in [2, 3, 4] {
+        let (summaries, bits) = sharded_summaries(31, 4, Some(workers), 0.1);
+        assert_eq!(
+            summaries, reference,
+            "{workers}-worker execution must match the sequential executor"
+        );
+        assert_eq!(bits, reference_bits);
+    }
+}
+
+/// Tentpole pin: changing the shard count changes *only* the floating-point
+/// summation order of cross-shard telemetry reductions — never the node
+/// values. The exchange schedule, loss draws and churn victims are drawn
+/// from shard-count-agnostic streams over the global directory, and the
+/// round/barrier execution is equivalent to applying the schedule
+/// sequentially. (Holds for single-instance configurations as pinned here;
+/// under multi-instance epochs with message loss the draws are consumed in
+/// instance order and led-instance tags differ across shard counts.)
+#[test]
+fn shard_count_changes_only_telemetry_summation_order() {
+    let (reference, reference_bits) = sharded_summaries(77, 1, None, 0.1);
+    for shards in [2, 4, 8] {
+        // Exercise the threaded executor for half the configurations so the
+        // invariant is pinned across executors too.
+        let workers = if shards == 4 { Some(shards) } else { None };
+        let (summaries, bits) = sharded_summaries(77, shards, workers, 0.1);
+        assert_eq!(
+            bits, reference_bits,
+            "{shards}-shard node estimates must be bit-identical to 1 shard"
+        );
+        for (x, y) in summaries.iter().zip(&reference) {
+            assert_eq!(x.cycle, y.cycle);
+            assert_eq!(x.live_nodes, y.live_nodes);
+            assert_eq!(x.exchanges, y.exchanges, "cycle {}", x.cycle);
+            assert_eq!(x.messages_lost, y.messages_lost, "cycle {}", x.cycle);
+            assert_eq!(x.completed_epoch, y.completed_epoch);
+            assert_eq!(x.epoch_estimates.count(), y.epoch_estimates.count());
+            // Telemetry reductions agree up to fp summation order.
+            assert!(
+                (x.estimate_mean - y.estimate_mean).abs() <= 1e-9 * (1.0 + y.estimate_mean.abs()),
+                "cycle {}: mean {} vs {}",
+                x.cycle,
+                x.estimate_mean,
+                y.estimate_mean
+            );
+            assert!(
+                (x.estimate_variance - y.estimate_variance).abs()
+                    <= 1e-9 * (1.0 + y.estimate_variance.abs()),
+                "cycle {}: variance {} vs {}",
+                x.cycle,
+                x.estimate_variance,
+                y.estimate_variance
+            );
+        }
+    }
+}
+
+/// The loss-free size-estimation scenario (multi-instance epochs) is also
+/// shard-count invariant at the node level: with no loss draws to consume,
+/// instance-tag ordering cannot perturb anything.
+#[test]
+fn sharded_size_estimation_is_shard_count_invariant_without_loss() {
+    let run = |shards: usize| {
+        let config = ShardedConfig {
+            base: SimulationConfig {
+                protocol: ProtocolConfig::builder()
+                    .cycles_per_epoch(10)
+                    .late_join(aggregate_core::config::LateJoinPolicy::FixedState(0.0))
+                    .build()
+                    .unwrap(),
+                conditions: NetworkConditions::reliable(),
+                leader_policy: Some(LeaderPolicy::Fixed { probability: 0.02 }),
+            },
+            shards,
+            workers: None,
+        };
+        let values = vec![0.0; 200];
+        let mut sim = ShardedSimulation::new(config, &values, 99).unwrap();
+        let summaries = sim.run(20);
+        let bits: Vec<u64> = sim.estimates().iter().map(|v| v.to_bits()).collect();
+        let sizes: Vec<u64> = summaries
+            .iter()
+            .filter(|s| s.epoch_size_estimates.count() > 0)
+            .map(|s| s.epoch_size_estimates.count())
+            .collect();
+        (bits, sizes, sim.last_size_estimate().unwrap())
+    };
+    let (bits1, sizes1, estimate1) = run(1);
+    for shards in [2, 5] {
+        let (bits, sizes, estimate) = run(shards);
+        assert_eq!(bits, bits1, "{shards}-shard default estimates must match");
+        assert_eq!(sizes, sizes1, "same reporting-node counts per epoch");
+        assert!(
+            (estimate - estimate1).abs() <= 1e-9 * estimate1,
+            "pooled size estimate {estimate} vs {estimate1}"
+        );
+    }
+}
+
 /// The experiment runners (used by the benches and the convergence-rate
 /// integration tests) are reproducible end to end: same seed, same Summary.
 #[test]
