@@ -141,6 +141,14 @@ impl Table {
     }
 }
 
+impl std::fmt::Display for Table {
+    /// Displays the table in its column-aligned plain-text form, so bench
+    /// binaries and examples can `println!("{table}")` directly.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.to_aligned_text())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -184,6 +192,12 @@ mod tests {
         assert!(text.lines().count() >= 4);
         // Columns aligned: every data line starts with the selector name.
         assert!(text.lines().nth(2).unwrap().starts_with("getPair_pm"));
+    }
+
+    #[test]
+    fn display_matches_aligned_text() {
+        let table = sample();
+        assert_eq!(table.to_string(), table.to_aligned_text());
     }
 
     #[test]

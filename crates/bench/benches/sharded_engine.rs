@@ -89,7 +89,7 @@ fn main() {
             rep_ratios[i].push(rep_reference_elapsed / elapsed);
             sharded_variance[i] = summaries.last().expect("cycles >= 1").estimate_variance;
             if shards == *shard_counts.last().expect("non-empty") {
-                widest_run = Some(summaries);
+                widest_run = Some((sim.sampler_config(), summaries));
             }
         }
     }
@@ -151,9 +151,9 @@ fn main() {
     if let Err(e) = table.write_csv("target/sharded_engine.csv") {
         eprintln!("could not write target/sharded_engine.csv: {e}");
     }
-    if let Some(summaries) = widest_run {
+    if let Some((sampler, summaries)) = widest_run {
         if let Err(e) =
-            cycle_telemetry_table(&summaries).write_csv("target/sharded_engine_cycles.csv")
+            cycle_telemetry_table(&summaries, sampler).write_csv("target/sharded_engine_cycles.csv")
         {
             eprintln!("could not write target/sharded_engine_cycles.csv: {e}");
         }

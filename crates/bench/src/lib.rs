@@ -25,6 +25,10 @@
 //! | `GOSSIP_FIG4_CYCLES` | simulated cycles for Figure 4 | 600 | 1000 |
 //! | `GOSSIP_CHURN_CYCLES` | cycles for the churn-engine throughput bench | 1000 | 1000 |
 //! | `GOSSIP_CHURN_FULL` | set to `1` to add the 100000-node churn-engine row | 0 | 1 |
+//! | `GOSSIP_OVERLAY_NODES` | network size for the overlay sweep | 100000 | 100000–1000000 |
+//! | `GOSSIP_OVERLAY_CYCLES` | cycles per overlay-sweep point | 20 | 20 |
+//! | `GOSSIP_OVERLAY_SHARDS` | shard count for the overlay sweep | 4 | — |
+//! | `GOSSIP_OVERLAY_CSV` | write the sweep table to this CSV path | unset | — |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

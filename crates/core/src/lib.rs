@@ -24,11 +24,12 @@
 //! |---|---|
 //! | [`aggregate`] | the `AGGREGATE` functions: average, min/max, moments, booleans |
 //! | [`selectors`] | the `GETPAIR` strategies: PM, RAND, SEQ, PMRAND |
+//! | [`sampler`] | pluggable peer sampling: uniform-complete, static overlays, live NEWSCAST |
 //! | [`avg`] | the whole-network `AVG` algorithm (Figure 2) and its per-cycle reports |
 //! | [`theory`] | closed-form convergence rates (Section 3) |
 //! | [`protocol`] | node-level push–pull state machine and wire messages (Figure 1) |
 //! | [`epoch`] | restart/termination/join machinery (Section 4) |
-//! | [`node`] | [`ProtocolNode`](node::ProtocolNode): epochs + instances + message handling |
+//! | [`node`] | [`node::ProtocolNode`]: epochs + instances + message handling |
 //! | [`size_estimation`] | network size estimation by anti-entropy counting (Section 4) |
 //! | [`derived`] | variances, sums, counts derived from converged instances |
 //! | [`config`] | protocol configuration builder |
@@ -79,6 +80,7 @@ mod error;
 pub mod exchange;
 pub mod node;
 pub mod protocol;
+pub mod sampler;
 pub mod selectors;
 pub mod size_estimation;
 pub mod theory;
@@ -89,6 +91,7 @@ pub use error::AggregationError;
 pub use exchange::{ExchangeCore, ExchangeScratch, ExchangeTally};
 pub use node::{EpochResult, ProtocolNode};
 pub use protocol::{AggregationInstance, GossipMessage, InstanceTag};
+pub use sampler::{PeerSampler, SamplerConfig, SamplerDirectory, UniformSampler};
 pub use selectors::{PairSelector, SelectorKind};
 
 #[cfg(test)]

@@ -1,9 +1,9 @@
 //! Per-node protocol driver: epochs, instances and message handling combined.
 //!
 //! [`ProtocolNode`] glues together the pieces defined elsewhere in this crate —
-//! [`AggregationInstance`](crate::protocol::AggregationInstance) state
-//! machines, the [`EpochManager`](crate::epoch::EpochManager) and the
-//! [`ProtocolConfig`](crate::config::ProtocolConfig) — into the object a
+//! [`crate::protocol::AggregationInstance`] state
+//! machines, the [`crate::epoch::EpochManager`] and the
+//! [`crate::config::ProtocolConfig`] — into the object a
 //! runtime (simulator or live transport) drives:
 //!
 //! 1. once per cycle the runtime picks a peer and calls

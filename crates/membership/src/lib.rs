@@ -19,7 +19,12 @@
 //! * [`NewscastNetwork`] — a whole-network driver that runs membership cycles
 //!   and exports the instantaneous communication graph as an
 //!   [`overlay_topology::ViewTopology`], ready to be consumed by the
-//!   aggregation protocol or the simulator.
+//!   aggregation protocol or the simulator;
+//! * [`NewscastSampler`] / [`StaticOverlaySampler`] — implementations of the
+//!   engine-facing [`aggregate_core::sampler::PeerSampler`] interface, which
+//!   is how the `gossip-sim` engines draw their exchange partners from a
+//!   live NEWSCAST membership or a static overlay graph instead of the
+//!   complete graph.
 //!
 //! ## Example
 //!
@@ -46,11 +51,13 @@
 mod descriptor;
 mod network;
 mod newscast;
+mod sampler;
 mod service;
 mod view;
 
 pub use descriptor::NodeDescriptor;
 pub use network::NewscastNetwork;
 pub use newscast::NewscastNode;
+pub use sampler::{NewscastSampler, StaticOverlaySampler};
 pub use service::{PeerSampling, StaticPeerList};
 pub use view::PartialView;

@@ -223,6 +223,30 @@ impl NodeArena {
         &self.live
     }
 
+    /// The position of `slot` in the dense live array, or `None` when the
+    /// slot is dead or out of range.
+    pub fn live_pos_of_slot(&self, slot: u32) -> Option<u32> {
+        match self.live_pos.get(slot as usize) {
+            Some(&pos) if pos != NOT_LIVE => Some(pos),
+            _ => None,
+        }
+    }
+
+    /// The slot of the live node with identifier `id` — `None` when the
+    /// identifier is stale, foreign (minted by another shard's arena) or its
+    /// slot is dead. The id-addressed analogue of [`NodeArena::id_at_slot`].
+    pub fn slot_of(&self, id: NodeId) -> Option<u32> {
+        let (slot, tag, generation) = self.layout.unpack(id);
+        if tag != self.layout.tag {
+            return None;
+        }
+        let entry = self.slots.get(slot as usize)?;
+        if entry.generation != generation || entry.node.is_none() {
+            return None;
+        }
+        Some(slot)
+    }
+
     /// The identifier of the current occupant of `slot` (which must be live).
     ///
     /// # Panics
@@ -571,6 +595,21 @@ mod tests {
     fn pair_mut_rejects_identical_slots() {
         let (mut arena, _) = arena_with(2);
         let _ = arena.pair_mut(1, 1);
+    }
+
+    #[test]
+    fn slot_and_position_lookups_track_liveness() {
+        let (mut arena, ids) = arena_with(4);
+        assert_eq!(arena.slot_of(ids[2]), Some(2));
+        assert_eq!(arena.live_pos_of_slot(2), Some(2));
+        assert!(arena.remove(ids[2]));
+        assert_eq!(arena.slot_of(ids[2]), None, "dead slot does not resolve");
+        assert_eq!(arena.live_pos_of_slot(2), None);
+        assert_eq!(arena.live_pos_of_slot(99), None, "out of range");
+        // A recycled slot resolves only under the fresh identifier.
+        let fresh = arena.insert(|id| make(id, 9.0));
+        assert_eq!(arena.slot_of(fresh), Some(2));
+        assert_eq!(arena.slot_of(ids[2]), None, "stale generation is rejected");
     }
 
     #[test]

@@ -19,8 +19,10 @@
 //! (same mathematics, no message objects); see [`crate::runner`].
 
 use crate::arena::NodeArena;
+use crate::sampling::{instantiate_sampler, ArenaDirectory};
 use crate::{NetworkConditions, SeedSequence, SimConfigError};
 use aggregate_core::node::ProtocolNode;
+use aggregate_core::sampler::{sample_live_peer, PeerSampler, SamplerConfig};
 use aggregate_core::size_estimation::{self, LeaderPolicy};
 use aggregate_core::{ExchangeCore, ExchangeTally, GossipMessage, ProtocolConfig};
 use gossip_analysis::OnlineStats;
@@ -41,15 +43,22 @@ pub struct SimulationConfig {
     /// Leader-election policy for network-size estimation; `None` disables
     /// counting instances entirely.
     pub leader_policy: Option<LeaderPolicy>,
+    /// The peer-sampling layer exchange partners are drawn from:
+    /// uniform-complete (the paper's analytical model and the default), a
+    /// static overlay graph, or a live NEWSCAST membership protocol running
+    /// in lockstep with the aggregation cycles.
+    pub sampler: SamplerConfig,
 }
 
 impl SimulationConfig {
-    /// Plain averaging over a reliable network, no size estimation.
+    /// Plain averaging over a reliable network, no size estimation, uniform
+    /// peer sampling.
     pub fn averaging(protocol: ProtocolConfig) -> Self {
         SimulationConfig {
             protocol,
             conditions: NetworkConditions::reliable(),
             leader_policy: None,
+            sampler: SamplerConfig::UniformComplete,
         }
     }
 
@@ -101,17 +110,21 @@ pub struct CycleSummary {
 
 /// A cycle-driven simulation of the full distributed protocol.
 ///
-/// Peer selection is uniform over the other live nodes, i.e. the overlay is
-/// the complete graph over the current membership — the setting of the paper's
-/// Section 4 experiment. (For static sparse overlays the vector-level
-/// experiments in [`crate::runner`] cover the behaviour; a membership-fed
-/// overlay can be studied by composing this crate with `peer-sampling`.)
+/// Exchange partners are drawn through the configured [`PeerSampler`]. The
+/// default, [`SamplerConfig::UniformComplete`], samples uniformly over the
+/// other live nodes — the complete-graph setting of the paper's Section 4
+/// experiment, bit-identical to the engine's historical behaviour. A
+/// [`SamplerConfig::StaticOverlay`] restricts partners to the edges of a
+/// generated overlay graph, and [`SamplerConfig::Newscast`] runs a live
+/// NEWSCAST membership protocol in lockstep with the aggregation cycles —
+/// the setting of the paper's overlay-dependence experiments.
 #[derive(Debug)]
 pub struct GossipSimulation {
     config: SimulationConfig,
     arena: NodeArena,
     cycle: usize,
     rng: StdRng,
+    sampler: Box<dyn PeerSampler>,
     last_size_estimate: Option<f64>,
     scratch_pushes: Vec<GossipMessage>,
     scratch_replies: Vec<GossipMessage>,
@@ -121,43 +134,69 @@ impl GossipSimulation {
     /// Creates a simulation with one node per initial value, all present from
     /// epoch 0, using the given master seed.
     ///
-    /// This permissive constructor accepts any input (including an empty
-    /// population — useful for degenerate-case tests); use
+    /// This permissive constructor accepts any population (including an empty
+    /// one — useful for degenerate-case tests); use
     /// [`GossipSimulation::try_new`] to validate the configuration with a
     /// typed error instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the peer-sampling configuration cannot be realised (e.g.
+    /// invalid overlay-generator parameters); [`GossipSimulation::try_new`]
+    /// reports the same condition as [`SimConfigError::Sampler`].
     pub fn new(config: SimulationConfig, initial_values: &[f64], master_seed: u64) -> Self {
-        let mut arena = NodeArena::new();
-        for &v in initial_values {
-            arena.insert(|id| ProtocolNode::new(id, config.protocol, v));
-        }
-        let mut sim = GossipSimulation {
-            config,
-            arena,
-            cycle: 0,
-            rng: SeedSequence::new(master_seed).rng_for_run(0),
-            last_size_estimate: None,
-            scratch_pushes: Vec::new(),
-            scratch_replies: Vec::new(),
-        };
-        sim.elect_leaders();
-        sim
+        GossipSimulation::build(config, initial_values, master_seed)
+            .expect("invalid peer-sampling configuration")
     }
 
     /// Validating variant of [`GossipSimulation::new`], mirroring the
     /// [`crate::AsyncSimulation::new`] pattern: rejects an empty population,
-    /// non-finite initial values and invalid failure conditions at
-    /// construction.
+    /// non-finite initial values, invalid failure conditions and unrealisable
+    /// sampler configurations at construction.
     ///
     /// # Errors
     ///
-    /// See [`SimulationConfig::validate`].
+    /// See [`SimulationConfig::validate`] and [`SimConfigError::Sampler`].
     pub fn try_new(
         config: SimulationConfig,
         initial_values: &[f64],
         master_seed: u64,
     ) -> Result<Self, SimConfigError> {
         config.validate(initial_values)?;
-        Ok(GossipSimulation::new(config, initial_values, master_seed))
+        GossipSimulation::build(config, initial_values, master_seed)
+    }
+
+    fn build(
+        config: SimulationConfig,
+        initial_values: &[f64],
+        master_seed: u64,
+    ) -> Result<Self, SimConfigError> {
+        let mut arena = NodeArena::new();
+        let mut initial_ids = Vec::with_capacity(initial_values.len());
+        for &v in initial_values {
+            initial_ids.push(arena.insert(|id| ProtocolNode::new(id, config.protocol, v)));
+        }
+        let seeds = SeedSequence::new(master_seed);
+        let sampler = instantiate_sampler(config.sampler, &initial_ids, &seeds)?;
+        let mut sim = GossipSimulation {
+            config,
+            arena,
+            cycle: 0,
+            rng: seeds.rng_for_run(0),
+            sampler,
+            last_size_estimate: None,
+            scratch_pushes: Vec::new(),
+            scratch_replies: Vec::new(),
+        };
+        sim.elect_leaders();
+        Ok(sim)
+    }
+
+    /// The peer-sampling configuration this simulation draws partners from
+    /// (surfaced by report tables so CSV artifacts distinguish
+    /// complete-graph from overlay-constrained runs).
+    pub fn sampler_config(&self) -> SamplerConfig {
+        self.sampler.config()
     }
 
     /// Number of live nodes.
@@ -232,16 +271,24 @@ impl GossipSimulation {
         let cycles_until_start = (cycles_per_epoch - cycle_in_epoch) as u32;
         let next_epoch = (self.cycle / cycles_per_epoch) as u64 + 1;
         let protocol = self.config.protocol;
-        self.arena.insert(|id| {
+        let id = self.arena.insert(|id| {
             ProtocolNode::joining(id, protocol, local_value, next_epoch, cycles_until_start)
-        })
+        });
+        let GossipSimulation { sampler, arena, .. } = self;
+        sampler.on_join(id, &ArenaDirectory { arena });
+        id
     }
 
     /// Removes a specific node (crash or departure). Returns `true` if the
     /// node was live; stale identifiers from a slot's previous occupant are
     /// rejected.
     pub fn remove_node(&mut self, id: NodeId) -> bool {
-        self.arena.remove(id)
+        if self.arena.remove(id) {
+            self.sampler.on_depart(id);
+            true
+        } else {
+            false
+        }
     }
 
     /// Removes `count` uniformly random live nodes (used by churn schedules
@@ -253,7 +300,10 @@ impl GossipSimulation {
                 break;
             }
             let position = self.rng.gen_range(0..self.arena.len());
+            let slot = self.arena.live_slots()[position];
+            let id = self.arena.id_at_slot(slot);
             self.arena.remove_live_at(position);
+            self.sampler.on_depart(id);
             removed += 1;
         }
         removed
@@ -273,6 +323,16 @@ impl GossipSimulation {
         let conditions = self.config.conditions;
         let mut tally = ExchangeTally::default();
 
+        // Overlay maintenance first, in lockstep with the aggregation cycle:
+        // NEWSCAST exchanges and ages its views here (from its own labelled
+        // seed stream — the engine's schedule draws below are untouched, so
+        // the uniform configuration stays bit-identical to the pre-sampler
+        // engine).
+        {
+            let GossipSimulation { sampler, arena, .. } = self;
+            sampler.begin_cycle(&ArenaDirectory { arena });
+        }
+
         // Active phase: every live node initiates one exchange, in random
         // order (the GETPAIR_SEQ schedule realised by a distributed system).
         let mut order = self.arena.live_slots().to_vec();
@@ -281,10 +341,27 @@ impl GossipSimulation {
             if self.arena.node_at_slot(initiator_slot).is_none() {
                 continue;
             }
-            let Some(peer_slot) = self.pick_peer(initiator_slot) else {
+            let peer_id = {
+                let GossipSimulation {
+                    sampler,
+                    arena,
+                    rng,
+                    ..
+                } = self;
+                let initiator_pos = arena
+                    .live_pos_of_slot(initiator_slot)
+                    .expect("checked above") as usize;
+                sample_live_peer(
+                    sampler.as_mut(),
+                    &ArenaDirectory { arena },
+                    initiator_pos,
+                    rng,
+                )
+            };
+            let Some(peer_id) = peer_id else {
                 continue;
             };
-            let peer_id = self.arena.id_at_slot(peer_slot);
+            let peer_slot = self.arena.slot_of(peer_id).expect("sampled peer is live");
             let arena = &mut self.arena;
             let rng = &mut self.rng;
             let initiator = arena
@@ -383,19 +460,6 @@ impl GossipSimulation {
         (0..cycles).map(|_| self.run_cycle()).collect()
     }
 
-    fn pick_peer(&mut self, initiator_slot: u32) -> Option<u32> {
-        let live = self.arena.live_slots();
-        if live.len() < 2 {
-            return None;
-        }
-        loop {
-            let candidate = live[self.rng.gen_range(0..live.len())];
-            if candidate != initiator_slot {
-                return Some(candidate);
-            }
-        }
-    }
-
     fn elect_leaders(&mut self) {
         let Some(policy) = self.config.leader_policy else {
             return;
@@ -449,6 +513,7 @@ mod tests {
                 .unwrap(),
             conditions: NetworkConditions::reliable(),
             leader_policy: Some(policy),
+            sampler: SamplerConfig::UniformComplete,
         }
     }
 

@@ -9,7 +9,7 @@ use std::fmt;
 /// engine: every constructor that can be handed nonsense validates at
 /// construction and reports *which* parameter was rejected, instead of
 /// producing NaN telemetry or a wedged run thousands of cycles later.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum SimConfigError {
     /// The initial population is empty.
     ZeroNodes,
@@ -50,6 +50,12 @@ pub enum SimConfigError {
         /// Total slots addressable by the configured shard count.
         capacity: usize,
     },
+    /// The peer-sampling configuration cannot be realised (invalid overlay
+    /// generator parameters, zero NEWSCAST cache, unknown variant).
+    Sampler {
+        /// Human-readable rejection reason.
+        reason: String,
+    },
 }
 
 impl fmt::Display for SimConfigError {
@@ -84,6 +90,9 @@ impl fmt::Display for SimConfigError {
                     "{nodes} initial nodes exceed the {capacity} slots the configured shards \
                      can address"
                 )
+            }
+            SimConfigError::Sampler { ref reason } => {
+                write!(f, "peer-sampling configuration rejected: {reason}")
             }
         }
     }
@@ -194,6 +203,9 @@ mod tests {
             SimConfigError::PopulationExceedsCapacity {
                 nodes: 2_000_000,
                 capacity: 1_048_576,
+            },
+            SimConfigError::Sampler {
+                reason: "degree 50 too large".to_string(),
             },
         ] {
             assert!(!error.to_string().is_empty());

@@ -23,7 +23,7 @@ use std::fmt;
 /// A parameter of [`AsyncConfig`] or [`WakeupDistribution`] that would break
 /// the event queue: negative, zero (where forbidden), NaN or infinite values
 /// schedule events backwards in time or at times that defeat the queue's
-/// ordering (NaN compares as `Equal` in [`QueuedEvent`]).
+/// ordering (NaN compares as `Equal` in the internal event queue).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum AsyncConfigError {
     /// `message_latency` is negative, NaN or infinite.

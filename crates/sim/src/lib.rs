@@ -61,8 +61,10 @@ mod conditions;
 mod engine;
 mod error;
 mod event_engine;
+pub mod overlay;
 mod rng;
 pub mod runner;
+pub mod sampling;
 pub mod sharded;
 mod values;
 
@@ -73,6 +75,8 @@ pub use error::{SimConfigError, SimError};
 pub use event_engine::{
     AsyncConfig, AsyncConfigError, AsyncSimulation, TimeSample, WakeupDistribution,
 };
+pub use overlay::{OverlayExperiment, OverlayMeasurement};
 pub use rng::SeedSequence;
+pub use sampling::instantiate_sampler;
 pub use sharded::{ShardedConfig, ShardedCycleSummary, ShardedSimulation};
 pub use values::ValueDistribution;

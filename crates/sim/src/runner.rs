@@ -8,6 +8,7 @@ use crate::{
 };
 use aggregate_core::avg::{self, CycleReport};
 use aggregate_core::config::LateJoinPolicy;
+use aggregate_core::sampler::SamplerConfig;
 use aggregate_core::size_estimation::LeaderPolicy;
 use aggregate_core::{AggregationError, ProtocolConfig, SelectorKind};
 use gossip_analysis::{Summary, Table};
@@ -161,6 +162,10 @@ pub struct SizeEstimationScenario {
     pub leader_policy: LeaderPolicy,
     /// Message-loss probability (0 for the paper's setting).
     pub message_loss: f64,
+    /// Peer-sampling layer partners are drawn from (the paper's Figure 4
+    /// runs on the complete graph; NEWSCAST variants probe the overlay
+    /// dependence of size estimation under churn).
+    pub sampler: SamplerConfig,
     /// Master seed.
     pub seed: u64,
 }
@@ -175,6 +180,7 @@ impl SizeEstimationScenario {
             total_cycles: 1_000,
             leader_policy: LeaderPolicy::default(),
             message_loss: 0.0,
+            sampler: SamplerConfig::UniformComplete,
             seed,
         }
     }
@@ -188,6 +194,7 @@ impl SizeEstimationScenario {
             total_cycles,
             leader_policy: LeaderPolicy::default(),
             message_loss: 0.0,
+            sampler: SamplerConfig::UniformComplete,
             seed,
         }
     }
@@ -219,6 +226,7 @@ impl SizeEstimationScenario {
             protocol,
             conditions: NetworkConditions::with_message_loss(self.message_loss),
             leader_policy: Some(self.leader_policy),
+            sampler: self.sampler,
         })
     }
 }
@@ -230,6 +238,10 @@ impl SizeEstimationScenario {
 pub struct ChurnReport {
     /// One point per completed epoch that produced size estimates.
     pub points: Vec<SizeEstimationPoint>,
+    /// The peer-sampling layer the run drew partners from — surfaced in the
+    /// telemetry CSV so complete-graph and NEWSCAST runs stay
+    /// distinguishable in recorded artifacts.
+    pub sampler: SamplerConfig,
     /// Number of shards the run executed on; `0` for the single-threaded
     /// reference engine.
     pub shards: usize,
@@ -267,6 +279,7 @@ impl ChurnReport {
     pub fn telemetry_table(&self) -> Table {
         let mut table = Table::new(vec![
             "engine",
+            "sampler",
             "shards",
             "cycles",
             "cycles_per_sec",
@@ -290,6 +303,7 @@ impl ChurnReport {
             } else {
                 "sharded".to_string()
             },
+            self.sampler.to_string(),
             self.shards.to_string(),
             self.cycles.to_string(),
             format!("{:.3}", self.cycles_per_second),
@@ -474,6 +488,7 @@ impl ChurnRunner {
 
         Ok(ChurnReport {
             points,
+            sampler: scenario.sampler,
             shards: self.shards,
             shard_load: (hooks.shard_load)(&sim),
             cycles: scenario.total_cycles,
@@ -532,6 +547,7 @@ pub fn robustness_run(
         protocol,
         conditions,
         leader_policy: None,
+        sampler: SamplerConfig::UniformComplete,
     };
     let seeds = SeedSequence::new(seed);
     let mut rng = seeds.rng_for_labeled(0, "values");
@@ -744,8 +760,8 @@ mod tests {
         // The telemetry table renders one row with the engine label.
         let table = report.telemetry_table();
         let csv = table.to_csv();
-        assert!(csv.starts_with("engine,shards,cycles,cycles_per_sec"));
-        assert!(csv.contains("sharded,4,240"));
+        assert!(csv.starts_with("engine,sampler,shards,cycles,cycles_per_sec"));
+        assert!(csv.contains("sharded,uniform-complete,4,240"));
     }
 
     #[test]

@@ -52,8 +52,10 @@
 //! cycle streams no per-node vectors through a single accumulator.
 
 use crate::arena::{IdLayout, NodeArena, MAX_SHARDS};
+use crate::sampling::instantiate_sampler;
 use crate::{NetworkConditions, SeedSequence, SimConfigError, SimulationConfig};
 use aggregate_core::node::ProtocolNode;
+use aggregate_core::sampler::{sample_live_peer, PeerSampler, SamplerConfig, SamplerDirectory};
 use aggregate_core::size_estimation;
 use aggregate_core::{ExchangeCore, ExchangeScratch, ExchangeTally, GossipMessage, InstanceTag};
 use gossip_analysis::OnlineStats;
@@ -230,6 +232,39 @@ struct Shard {
     global_pos: Vec<u32>,
 }
 
+/// The sharded engine's [`SamplerDirectory`]: positions are the global live
+/// directory's order (shard-count agnostic), liveness resolves through the
+/// owning shard's arena — all O(1).
+#[derive(Debug, Clone, Copy)]
+struct GlobalDirectory<'a> {
+    live: &'a [NodeId],
+    shards: &'a [Shard],
+}
+
+impl SamplerDirectory for GlobalDirectory<'_> {
+    fn len(&self) -> usize {
+        self.live.len()
+    }
+
+    fn id_at(&self, pos: usize) -> NodeId {
+        self.live[pos]
+    }
+
+    fn is_live(&self, id: NodeId) -> bool {
+        let shard = IdLayout::shard_of(id) as usize;
+        self.shards
+            .get(shard)
+            .is_some_and(|s| s.arena.get(id).is_some())
+    }
+}
+
+/// Global directory position of a (verified live) identifier.
+fn global_pos_of(shards: &[Shard], id: NodeId) -> u32 {
+    let shard = IdLayout::shard_of(id) as usize;
+    let slot = IdLayout::sharded_slot_of(id) as usize;
+    shards[shard].global_pos[slot]
+}
+
 impl Shard {
     fn set_global_pos(&mut self, slot: u32, pos: u32) {
         let slot = slot as usize;
@@ -269,6 +304,12 @@ pub struct ShardedSimulation {
     last_size_estimate: Option<f64>,
     shard_exchange_totals: Vec<usize>,
     sched: ScheduleBuffers,
+    /// The peer-sampling layer. Sampling happens exclusively in the
+    /// coordinator pass (schedule construction), never on worker threads, so
+    /// one sampler serves every shard and both determinism invariants —
+    /// across worker counts *and* across shard counts — hold by
+    /// construction.
+    sampler: Box<dyn PeerSampler>,
 }
 
 /// Lazily seeded per-exchange loss model: free when the loss probability is
@@ -317,6 +358,7 @@ impl ShardedSimulation {
             global_live.push(id);
         }
         let seeds = SeedSequence::new(master_seed);
+        let sampler = instantiate_sampler(config.base.sampler, &global_live, &seeds)?;
         let mut sim = ShardedSimulation {
             config,
             shards,
@@ -328,9 +370,15 @@ impl ShardedSimulation {
             last_size_estimate: None,
             shard_exchange_totals: vec![0; shard_count],
             sched: ScheduleBuffers::default(),
+            sampler,
         };
         sim.elect_leaders();
         Ok(sim)
+    }
+
+    /// The peer-sampling configuration exchange partners are drawn from.
+    pub fn sampler_config(&self) -> SamplerConfig {
+        self.sampler.config()
     }
 
     /// Number of live nodes.
@@ -424,6 +472,19 @@ impl ShardedSimulation {
         });
         shard.set_global_pos(slot, self.global_live.len() as u32);
         self.global_live.push(id);
+        let ShardedSimulation {
+            sampler,
+            global_live,
+            shards,
+            ..
+        } = self;
+        sampler.on_join(
+            id,
+            &GlobalDirectory {
+                live: global_live,
+                shards,
+            },
+        );
         id
     }
 
@@ -440,6 +501,7 @@ impl ShardedSimulation {
         let slot = IdLayout::sharded_slot_of(id);
         let pos = self.shards[shard].global_pos[slot as usize];
         self.remove_global_at(pos as usize);
+        self.sampler.on_depart(id);
         true
     }
 
@@ -458,6 +520,7 @@ impl ShardedSimulation {
             let slot = IdLayout::sharded_slot_of(id);
             self.shards[shard].arena.remove_slot_checked(slot);
             self.remove_global_at(pos);
+            self.sampler.on_depart(id);
             removed += 1;
         }
         removed
@@ -493,6 +556,22 @@ impl ShardedSimulation {
     /// summary.
     pub fn run_cycle(&mut self) -> ShardedCycleSummary {
         let shard_count = self.config.shards;
+        // Overlay maintenance in lockstep with the aggregation cycle, on the
+        // coordinator (identical for both executors and every worker count);
+        // NEWSCAST's randomness comes from its own labelled stream, so the
+        // schedule draws below are unaffected.
+        {
+            let ShardedSimulation {
+                sampler,
+                global_live,
+                shards,
+                ..
+            } = self;
+            sampler.begin_cycle(&GlobalDirectory {
+                live: global_live,
+                shards,
+            });
+        }
         let outs = if self.effective_workers() == 1 {
             self.run_cycle_sequential()
         } else {
@@ -571,6 +650,7 @@ impl ShardedSimulation {
         let mut scratch = ExchangeScratch::new();
         let shards = &mut self.shards;
         let global_live = &self.global_live;
+        let sampler = &mut self.sampler;
         // Exchanges are executed in blocks: peers for the whole block are
         // drawn first (the same draw sequence as one-at-a-time), then every
         // endpoint node is *touched* with plain reads, then the block runs.
@@ -581,18 +661,26 @@ impl ShardedSimulation {
         const BLOCK: usize = 64;
         let mut block: Vec<(NodeId, NodeId)> = Vec::with_capacity(BLOCK);
         if n >= 2 {
+            // Dense sequence numbers over *successful* picks — the same
+            // numbering `build_schedule` gives the threaded executor (a
+            // sampler may fail a pick, e.g. an empty NEWSCAST view, so the
+            // count is not simply the initiator's order position).
+            let mut next_seq = 0usize;
             let mut start = 0usize;
             while start < n {
                 let end = (start + BLOCK).min(n);
                 block.clear();
                 for &ipos in &order[start..end] {
-                    let ppos = loop {
-                        let candidate = rng.gen_range(0..n) as u32;
-                        if candidate != ipos {
-                            break candidate;
-                        }
+                    let directory = GlobalDirectory {
+                        live: global_live,
+                        shards,
                     };
-                    block.push((global_live[ipos as usize], global_live[ppos as usize]));
+                    let Some(peer_id) =
+                        sample_live_peer(sampler.as_mut(), &directory, ipos as usize, &mut rng)
+                    else {
+                        continue;
+                    };
+                    block.push((global_live[ipos as usize], peer_id));
                 }
                 let mut warm = 0u64;
                 for &(initiator_id, peer_id) in &block {
@@ -610,8 +698,9 @@ impl ShardedSimulation {
                     }
                 }
                 std::hint::black_box(warm);
-                for (offset, &(initiator_id, peer_id)) in block.iter().enumerate() {
-                    let seq = start + offset;
+                for &(initiator_id, peer_id) in block.iter() {
+                    let seq = next_seq;
+                    next_seq += 1;
                     let initiator_shard = IdLayout::shard_of(initiator_id) as usize;
                     let peer_shard = IdLayout::shard_of(peer_id) as usize;
                     let initiator_slot = IdLayout::sharded_slot_of(initiator_id);
@@ -722,10 +811,16 @@ impl ShardedSimulation {
     fn build_schedule(&mut self) -> usize {
         let n = self.global_live.len();
         let shard_count = self.config.shards;
-        let mut rng = self
-            .seeds
-            .rng_for_labeled(self.cycle as u64, "cycle-schedule");
-        let sched = &mut self.sched;
+        let cycle = self.cycle;
+        let ShardedSimulation {
+            seeds,
+            sched,
+            sampler,
+            global_live,
+            shards,
+            ..
+        } = self;
+        let mut rng = seeds.rng_for_labeled(cycle as u64, "cycle-schedule");
 
         sched.order.clear();
         sched.order.extend(0..n as u32);
@@ -739,19 +834,23 @@ impl ShardedSimulation {
             sched.exchanges.reserve(n);
             for i in 0..n {
                 let ipos = sched.order[i];
-                let ppos = loop {
-                    let candidate = rng.gen_range(0..n) as u32;
-                    if candidate != ipos {
-                        break candidate;
-                    }
+                let directory = GlobalDirectory {
+                    live: global_live,
+                    shards,
                 };
+                let Some(peer_id) =
+                    sample_live_peer(sampler.as_mut(), &directory, ipos as usize, &mut rng)
+                else {
+                    continue;
+                };
+                let ppos = global_pos_of(shards, peer_id);
                 let round = sched.next_round[ipos as usize].max(sched.next_round[ppos as usize]);
                 sched.next_round[ipos as usize] = round + 1;
                 sched.next_round[ppos as usize] = round + 1;
                 rounds = rounds.max(round + 1);
                 sched.exchanges.push(ScheduledExchange {
-                    initiator: self.global_live[ipos as usize],
-                    peer: self.global_live[ppos as usize],
+                    initiator: global_live[ipos as usize],
+                    peer: peer_id,
                     round,
                 });
             }
@@ -814,13 +913,19 @@ impl ShardedSimulation {
 }
 
 /// Renders a run's per-cycle telemetry as a [`gossip_analysis::Table`] —
-/// one row per cycle with throughput-relevant counters, the merged estimate
-/// statistics and the per-shard load split. `Table::to_csv` /
-/// `Table::write_csv` turn it into the artifact the bench harness and the
-/// million-node example record.
-pub fn cycle_telemetry_table(summaries: &[ShardedCycleSummary]) -> gossip_analysis::Table {
+/// one row per cycle with the peer-sampling layer the run drew partners
+/// from, throughput-relevant counters, the merged estimate statistics and
+/// the per-shard load split. `Table::to_csv` / `Table::write_csv` turn it
+/// into the artifact the bench harness and the million-node example record
+/// (the `sampler` column is what keeps complete-graph and NEWSCAST runs
+/// distinguishable in archived CSVs).
+pub fn cycle_telemetry_table(
+    summaries: &[ShardedCycleSummary],
+    sampler: SamplerConfig,
+) -> gossip_analysis::Table {
     let mut table = gossip_analysis::Table::new(vec![
         "cycle",
+        "sampler",
         "live_nodes",
         "exchanges",
         "messages_lost",
@@ -832,6 +937,7 @@ pub fn cycle_telemetry_table(summaries: &[ShardedCycleSummary]) -> gossip_analys
     for summary in summaries {
         table.add_row(vec![
             summary.cycle.to_string(),
+            sampler.to_string(),
             summary.live_nodes.to_string(),
             summary.exchanges.to_string(),
             summary.messages_lost.to_string(),
@@ -1241,6 +1347,7 @@ mod tests {
                     .unwrap(),
                 conditions: NetworkConditions::reliable(),
                 leader_policy: Some(LeaderPolicy::Fixed { probability: 0.01 }),
+                sampler: SamplerConfig::UniformComplete,
             },
             shards: 4,
             workers: None,

@@ -26,6 +26,7 @@ fn scenario(label: &str, conditions: NetworkConditions, crash_cycle: Option<usiz
         protocol,
         conditions,
         leader_policy: None,
+        sampler: SamplerConfig::UniformComplete,
     };
     let mut sim = GossipSimulation::new(config, &values, 99);
 

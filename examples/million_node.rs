@@ -123,7 +123,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     if let Some(path) = csv {
-        cycle_telemetry_table(&summaries).write_csv(&path)?;
+        cycle_telemetry_table(&summaries, sim.sampler_config()).write_csv(&path)?;
         println!("per-cycle telemetry written to {path}");
     }
 

@@ -54,6 +54,9 @@ pub mod prelude {
     pub use aggregate_core::aggregate::{Aggregate, AggregateKind, Average, Maximum, Minimum};
     pub use aggregate_core::avg::{mean, run_avg, run_avg_cycle, variance};
     pub use aggregate_core::node::ProtocolNode;
+    pub use aggregate_core::sampler::{
+        PeerSampler, SamplerConfig, SamplerDirectory, SliceDirectory, UniformSampler,
+    };
     pub use aggregate_core::selectors::{
         PairSelector, PerfectMatchingSelector, RandomEdgeSelector, SelectorKind, SequentialSelector,
     };
@@ -71,7 +74,7 @@ pub mod prelude {
     pub use overlay_topology::{
         generators, CompleteTopology, Graph, NodeId, Topology, TopologyBuilder, TopologyKind,
     };
-    pub use peer_sampling::{NewscastNetwork, PeerSampling};
+    pub use peer_sampling::{NewscastNetwork, NewscastSampler, PeerSampling, StaticOverlaySampler};
 }
 
 #[cfg(test)]

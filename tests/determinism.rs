@@ -156,6 +156,22 @@ fn sharded_summaries(
     workers: Option<usize>,
     message_loss: f64,
 ) -> (Vec<gossip_sim::ShardedCycleSummary>, Vec<u64>) {
+    sharded_summaries_with(
+        seed,
+        shards,
+        workers,
+        message_loss,
+        SamplerConfig::UniformComplete,
+    )
+}
+
+fn sharded_summaries_with(
+    seed: u64,
+    shards: usize,
+    workers: Option<usize>,
+    message_loss: f64,
+    sampler: SamplerConfig,
+) -> (Vec<gossip_sim::ShardedCycleSummary>, Vec<u64>) {
     let values: Vec<f64> = (0..300).map(|i| (i % 37) as f64).collect();
     let protocol = ProtocolConfig::builder()
         .cycles_per_epoch(8)
@@ -166,6 +182,7 @@ fn sharded_summaries(
             protocol,
             conditions: NetworkConditions::with_message_loss(message_loss),
             leader_policy: None,
+            sampler,
         },
         shards,
         workers,
@@ -280,6 +297,7 @@ fn sharded_size_estimation_is_shard_count_invariant_without_loss() {
                     .unwrap(),
                 conditions: NetworkConditions::reliable(),
                 leader_policy: Some(LeaderPolicy::Fixed { probability: 0.02 }),
+                sampler: SamplerConfig::UniformComplete,
             },
             shards,
             workers: None,
@@ -304,6 +322,173 @@ fn sharded_size_estimation_is_shard_count_invariant_without_loss() {
             (estimate - estimate1).abs() <= 1e-9 * estimate1,
             "pooled size estimate {estimate} vs {estimate1}"
         );
+    }
+}
+
+/// Sampler-refactor pin: with the default uniform sampler the engines must
+/// reproduce the *pre-refactor* trajectories bit for bit. The golden values
+/// below were captured from the engines before the peer-sampling layer was
+/// introduced (same harnesses as `simulation_summaries(77)` and
+/// `sharded_summaries(2024, 3, None, 0.1)`); any change to the uniform draw
+/// sequence shows up here.
+#[test]
+fn uniform_sampler_is_bit_identical_to_the_pre_sampler_engines() {
+    let last = simulation_summaries(77).pop().unwrap();
+    assert_eq!(
+        last.estimate_mean.to_bits(),
+        0x4039_2147_ae14_7adf,
+        "reference-engine mean drifted from the pre-refactor trajectory"
+    );
+    assert_eq!(
+        last.estimate_variance.to_bits(),
+        0x3fe0_b58d_981d_4c54,
+        "reference-engine variance drifted from the pre-refactor trajectory"
+    );
+
+    let (_, bits) = sharded_summaries(2024, 3, None, 0.1);
+    assert_eq!(bits.len(), 300);
+    assert_eq!(bits[0], 0x4040_c7e9_0fd8_0000);
+    let mut fnv: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in &bits {
+        fnv ^= b;
+        fnv = fnv.wrapping_mul(0x1000_0000_01b3);
+    }
+    assert_eq!(
+        fnv, 0x64bd_b10a_57df_4315,
+        "sharded-engine estimates drifted from the pre-refactor trajectory"
+    );
+}
+
+/// Live NEWSCAST sampler on the reference engine, under churn and slot
+/// reuse: same seed → bit-identical trajectories; different seeds diverge.
+fn newscast_churn_summaries(seed: u64) -> Vec<gossip_sim::CycleSummary> {
+    let values: Vec<f64> = (0..300).map(|i| (i % 37) as f64).collect();
+    let protocol = ProtocolConfig::builder()
+        .cycles_per_epoch(8)
+        .build()
+        .unwrap();
+    let config = SimulationConfig {
+        sampler: SamplerConfig::newscast(),
+        ..SimulationConfig::averaging(protocol)
+    };
+    let mut sim = GossipSimulation::new(config, &values, seed);
+    let mut summaries = Vec::new();
+    for cycle in 0..30 {
+        for i in 0..5 {
+            sim.add_node((cycle * 5 + i) as f64);
+        }
+        sim.remove_random_nodes(5);
+        summaries.push(sim.run_cycle());
+    }
+    summaries
+}
+
+#[test]
+fn newscast_sampler_runs_are_bit_identical_for_identical_seeds() {
+    let a = newscast_churn_summaries(404);
+    let b = newscast_churn_summaries(404);
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.live_nodes, y.live_nodes);
+        assert_eq!(x.exchanges, y.exchanges);
+        assert_eq!(
+            x.estimate_mean.to_bits(),
+            y.estimate_mean.to_bits(),
+            "cycle {}: NEWSCAST-sampled means differ at the bit level",
+            x.cycle
+        );
+        assert_eq!(
+            x.estimate_variance.to_bits(),
+            y.estimate_variance.to_bits(),
+            "cycle {}: NEWSCAST-sampled variances differ at the bit level",
+            x.cycle
+        );
+    }
+    assert_ne!(
+        newscast_churn_summaries(404)
+            .last()
+            .unwrap()
+            .estimate_variance
+            .to_bits(),
+        newscast_churn_summaries(405)
+            .last()
+            .unwrap()
+            .estimate_variance
+            .to_bits(),
+        "different seeds must explore different view dynamics"
+    );
+}
+
+/// Static-overlay sampling is just as reproducible: the overlay is generated
+/// from a labelled stream of the master seed, so the whole run is a pure
+/// function of (seed, config).
+#[test]
+fn static_overlay_runs_are_bit_identical_for_identical_seeds() {
+    let run = |seed: u64| {
+        let values: Vec<f64> = (0..200).map(|i| (i % 23) as f64).collect();
+        let protocol = ProtocolConfig::builder()
+            .cycles_per_epoch(30)
+            .build()
+            .unwrap();
+        let config = SimulationConfig {
+            sampler: SamplerConfig::StaticOverlay {
+                topology: TopologyKind::RandomRegular { degree: 10 },
+            },
+            ..SimulationConfig::averaging(protocol)
+        };
+        let mut sim = GossipSimulation::new(config, &values, seed);
+        sim.run(10)
+            .iter()
+            .map(|s| s.estimate_variance.to_bits())
+            .collect::<Vec<u64>>()
+    };
+    assert_eq!(run(7), run(7));
+    assert_ne!(run(7), run(8));
+}
+
+/// Live NEWSCAST on the sharded engine: worker threads never touch the
+/// sampler (all picks happen in the coordinator pass), so any worker count
+/// must produce bit-identical summaries for a fixed shard count.
+#[test]
+fn newscast_sharded_runs_are_worker_count_invariant() {
+    let sampler = SamplerConfig::newscast();
+    let (reference, reference_bits) = sharded_summaries_with(55, 4, Some(1), 0.1, sampler);
+    for workers in [2, 4] {
+        let (summaries, bits) = sharded_summaries_with(55, 4, Some(workers), 0.1, sampler);
+        assert_eq!(
+            summaries, reference,
+            "{workers}-worker NEWSCAST run must match the sequential executor"
+        );
+        assert_eq!(bits, reference_bits);
+    }
+}
+
+/// Live NEWSCAST across shard counts: the membership protocol iterates and
+/// bootstraps over *directory positions* (shard-count invariant), never raw
+/// identifiers (which embed shard bits), so node estimates stay bit-identical
+/// across 1/2/4/8 shards — the same invariant the uniform sampler upholds.
+#[test]
+fn newscast_shard_count_changes_only_telemetry_summation_order() {
+    let sampler = SamplerConfig::newscast();
+    let (reference, reference_bits) = sharded_summaries_with(56, 1, None, 0.1, sampler);
+    for shards in [2, 4, 8] {
+        let (summaries, bits) = sharded_summaries_with(56, shards, None, 0.1, sampler);
+        assert_eq!(
+            bits, reference_bits,
+            "{shards}-shard NEWSCAST node estimates must be bit-identical to 1 shard"
+        );
+        for (x, y) in summaries.iter().zip(&reference) {
+            assert_eq!(x.live_nodes, y.live_nodes, "cycle {}", x.cycle);
+            assert_eq!(x.exchanges, y.exchanges, "cycle {}", x.cycle);
+            assert_eq!(x.messages_lost, y.messages_lost, "cycle {}", x.cycle);
+            assert!(
+                (x.estimate_variance - y.estimate_variance).abs()
+                    <= 1e-9 * (1.0 + y.estimate_variance.abs()),
+                "cycle {}: variance {} vs {}",
+                x.cycle,
+                x.estimate_variance,
+                y.estimate_variance
+            );
+        }
     }
 }
 

@@ -1,0 +1,186 @@
+//! NEWSCAST view dynamics under stress: the membership-layer properties the
+//! paper's overlay-dependence experiments rely on.
+//!
+//! Three families of guarantees are pinned here: the overlay *self-heals*
+//! after a mass failure (stale descriptors age out / are tail-dropped, views
+//! refill with live peers), the emergent in-degree distribution stays
+//! *narrow* (no node is systematically over- or under-represented, which is
+//! what makes view sampling a stand-in for uniform sampling), and the
+//! end-to-end engine keeps converging when half the network crashes mid-run.
+
+use epidemic_aggregation::prelude::*;
+
+fn ids(n: usize) -> Vec<NodeId> {
+    (0..n).map(NodeId::new).collect()
+}
+
+/// Kill half the network at once: every survivor's view initially points at
+/// a coin-flip mix of live and dead peers, yet within a couple of cache
+/// lifetimes every stale descriptor is gone and every view is full again —
+/// failure handling without a failure detector.
+#[test]
+fn newscast_self_heals_after_mass_failure() {
+    let n = 1_000;
+    let cache = 20;
+    let mut live = ids(n);
+    let mut sampler = NewscastSampler::new(cache, &live, 97);
+    {
+        let directory = SliceDirectory::new(&live);
+        for _ in 0..10 {
+            sampler.begin_cycle(&directory);
+        }
+    }
+    assert_eq!(
+        sampler.stale_descriptors(),
+        0,
+        "steady state before the failure"
+    );
+
+    // 50 % of the nodes crash simultaneously.
+    for dead in live.drain(0..n / 2) {
+        sampler.on_depart(dead);
+    }
+    assert_eq!(sampler.len(), n / 2);
+    let poisoned = sampler.stale_descriptors();
+    assert!(
+        poisoned > cache * n / 8,
+        "half the descriptors should initially point at the dead ({poisoned})"
+    );
+
+    // Healing: aging pushes dead descriptors off the cache tail while fresh
+    // descriptors of live nodes spread. A couple of cache lifetimes suffice.
+    let directory = SliceDirectory::new(&live);
+    let mut healed_at = None;
+    for cycle in 0..3 * cache {
+        sampler.begin_cycle(&directory);
+        if sampler.stale_descriptors() == 0 {
+            healed_at = Some(cycle + 1);
+            break;
+        }
+    }
+    let healed_at = healed_at.expect("overlay must flush every stale descriptor");
+    assert!(
+        healed_at <= 2 * cache,
+        "healing took {healed_at} cycles, expected at most two cache lifetimes"
+    );
+
+    // The healed overlay is fully functional: full views of live peers only,
+    // and every survivor still referenced by someone.
+    for &id in &live {
+        let view = sampler.view_of(id).expect("survivor keeps its state");
+        assert_eq!(view.len(), cache, "views must refill after healing");
+    }
+    assert!(
+        sampler.in_degrees().values().all(|&d| d > 0),
+        "no survivor may be forgotten by the healed overlay"
+    );
+}
+
+/// The steady-state in-degree distribution is narrow: mean in-degree equals
+/// the cache size (every descriptor points somewhere), no node starves, and
+/// the maximum stays within a small factor of the mean. This is the
+/// load-balance property behind the paper's "democratic" claim.
+#[test]
+fn newscast_in_degree_distribution_stays_narrow() {
+    let n = 2_000;
+    let cache = 20;
+    let live = ids(n);
+    let directory = SliceDirectory::new(&live);
+    let mut sampler = NewscastSampler::new(cache, &live, 3);
+    for _ in 0..30 {
+        sampler.begin_cycle(&directory);
+    }
+    let degrees = sampler.in_degrees();
+    let values: Vec<usize> = degrees.values().copied().collect();
+    let mean = values.iter().sum::<usize>() as f64 / values.len() as f64;
+    let max = *values.iter().max().unwrap();
+    let min = *values.iter().min().unwrap();
+    assert!(
+        (mean - cache as f64).abs() < 0.5,
+        "mean in-degree {mean} must sit at the cache size {cache}"
+    );
+    assert!(min > 0, "no node may be forgotten");
+    assert!(
+        (max as f64) < 6.0 * mean,
+        "in-degree distribution too skewed: max {max} vs mean {mean}"
+    );
+}
+
+/// End to end through the cycle engine: a NEWSCAST-sampled network loses
+/// half its nodes mid-run and still converges on the survivors' average —
+/// the engine's tail-drop healing (failed contact → evict) plus the
+/// membership cycle keep the overlay usable throughout.
+#[test]
+fn engine_with_newscast_sampler_survives_a_mass_crash() {
+    let n = 600;
+    let values: Vec<f64> = (0..n).map(|i| (i % 100) as f64).collect();
+    let protocol = ProtocolConfig::builder()
+        .cycles_per_epoch(100)
+        .build()
+        .unwrap();
+    let config = SimulationConfig {
+        sampler: SamplerConfig::newscast(),
+        ..SimulationConfig::averaging(protocol)
+    };
+    let mut sim = GossipSimulation::new(config, &values, 41);
+    sim.run(5);
+    assert_eq!(sim.remove_random_nodes(n / 2), n / 2);
+    let summaries = sim.run(25);
+
+    // Every cycle after the crash still runs a near-full exchange schedule —
+    // the healed views keep producing live partners.
+    let late = &summaries[5..];
+    assert!(
+        late.iter().all(|s| s.exchanges > n / 2 - n / 20),
+        "healed overlay must sustain the exchange schedule"
+    );
+    // And the estimates converge on the survivors' average.
+    let survivors_mean = mean(&sim.local_values());
+    let last = summaries.last().unwrap();
+    assert!(
+        (last.estimate_mean - survivors_mean).abs() < 1.0,
+        "estimate mean {} vs survivors' average {survivors_mean}",
+        last.estimate_mean
+    );
+    assert!(
+        last.estimate_variance < 1e-3,
+        "variance {} must keep collapsing after the crash",
+        last.estimate_variance
+    );
+}
+
+/// A NEWSCAST-sampled network under sustained churn keeps its estimate mean
+/// pinned to the live population's average-of-averages invariant and its
+/// arena bounded — the overlay layer does not leak engine resources.
+#[test]
+fn engine_with_newscast_sampler_handles_sustained_churn() {
+    let values = vec![10.0; 400];
+    let protocol = ProtocolConfig::builder()
+        .cycles_per_epoch(10)
+        .build()
+        .unwrap();
+    let config = SimulationConfig {
+        sampler: SamplerConfig::Newscast { cache_size: 15 },
+        ..SimulationConfig::averaging(protocol)
+    };
+    let mut sim = GossipSimulation::new(config, &values, 43);
+    for _ in 0..40 {
+        for _ in 0..5 {
+            sim.add_node(10.0);
+        }
+        assert_eq!(sim.remove_random_nodes(5), 5);
+        sim.run_cycle();
+    }
+    assert_eq!(sim.live_count(), 400);
+    assert!(
+        sim.slot_capacity() <= 405,
+        "churn with the NEWSCAST sampler must not leak arena slots, got {}",
+        sim.slot_capacity()
+    );
+    let summary = sim.run_cycle();
+    assert!(
+        summary.exchanges > 350,
+        "churned overlay still sustains the schedule, got {}",
+        summary.exchanges
+    );
+}

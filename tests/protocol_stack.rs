@@ -81,6 +81,7 @@ fn size_estimation_tracks_a_static_network() {
             fallback_probability: 0.005,
         },
         message_loss: 0.0,
+        sampler: SamplerConfig::UniformComplete,
         seed: 31,
     };
     let points = scenario.run().expect("valid scenario");
@@ -169,6 +170,7 @@ fn maximum_spreads_to_all_nodes_despite_message_loss() {
         protocol,
         conditions: NetworkConditions::with_message_loss(0.2),
         leader_policy: None,
+        sampler: SamplerConfig::UniformComplete,
     };
     let mut sim = GossipSimulation::new(config, &values, 23);
     sim.run(20);
