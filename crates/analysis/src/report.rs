@@ -43,6 +43,18 @@ impl Table {
         self.rows.push(row);
     }
 
+    /// Appends every row of `other` to this table, returning `false` (and
+    /// appending nothing) when the headers differ. Sweep harnesses use this
+    /// to stack several measured curves — e.g. the fault lab's link-failure,
+    /// loss and injection curves — into one CSV artifact.
+    pub fn append(&mut self, other: &Table) -> bool {
+        if self.headers != other.headers {
+            return false;
+        }
+        self.rows.extend(other.rows.iter().cloned());
+        true
+    }
+
     /// Number of data rows.
     pub fn len(&self) -> usize {
         self.rows.len()
@@ -162,6 +174,23 @@ mod tests {
             "0.3679".into(),
         ]);
         t
+    }
+
+    #[test]
+    fn append_stacks_rows_only_for_matching_headers() {
+        let mut base = sample();
+        let more = {
+            let mut t = Table::new(vec!["selector", "measured", "paper"]);
+            t.add_row(vec!["getPair_seq".into(), "0.3030".into(), "0.3033".into()]);
+            t
+        };
+        assert!(base.append(&more));
+        assert_eq!(base.len(), 3);
+        assert!(base.to_csv().contains("getPair_seq,0.3030,0.3033"));
+
+        let mismatched = Table::new(vec!["other", "headers"]);
+        assert!(!base.append(&mismatched));
+        assert_eq!(base.len(), 3, "a rejected append must change nothing");
     }
 
     #[test]

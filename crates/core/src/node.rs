@@ -203,6 +203,15 @@ impl ProtocolNode {
         &mut self.default_instance
     }
 
+    /// Overwrites the default instance's running approximation — the
+    /// value-injection fault of the `gossip-faults` lab, modelling a
+    /// compromised node reporting an adversarial estimate. The local
+    /// attribute value is untouched, so the corruption washes out over the
+    /// following exchanges and disappears at the next epoch restart.
+    pub fn corrupt_estimate(&mut self, value: f64) {
+        self.default_instance.corrupt_state(value);
+    }
+
     /// The epoch this node is currently executing.
     #[inline]
     pub fn current_epoch(&self) -> u64 {

@@ -225,6 +225,19 @@ impl AggregationInstance {
         self.exchanges = 0;
     }
 
+    /// Overwrites the running approximation in place, leaving the local
+    /// value, epoch and exchange counter untouched.
+    ///
+    /// This is the adversarial hook of the fault-injection lab
+    /// (`gossip-faults`): a value-injection fault corrupts the *converging
+    /// state* a malicious participant could report, not the node's true
+    /// attribute — so subsequent exchanges dilute the corruption and the
+    /// next epoch restart flushes it, exactly the recovery behaviour the
+    /// robustness experiments measure.
+    pub fn corrupt_state(&mut self, state: f64) {
+        self.state = state;
+    }
+
     /// Active side, step 1: returns the approximation to push to the peer.
     #[inline]
     pub fn initiate(&self) -> f64 {

@@ -26,6 +26,7 @@ use aggregate_core::sampler::{sample_live_peer, PeerSampler, SamplerConfig};
 use aggregate_core::size_estimation::{self, LeaderPolicy};
 use aggregate_core::{ExchangeCore, ExchangeTally, GossipMessage, ProtocolConfig};
 use gossip_analysis::OnlineStats;
+use gossip_faults::{FaultInjector, FaultPlan, PlanInjector};
 use overlay_topology::NodeId;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -37,8 +38,11 @@ use serde::{Deserialize, Serialize};
 pub struct SimulationConfig {
     /// Per-node protocol configuration.
     pub protocol: ProtocolConfig,
-    /// Failure conditions (message loss; crash events are driven by the
-    /// experiment code through [`GossipSimulation::remove_random_nodes`]).
+    /// Failure conditions — the simple uniform-loss + one-shot-crash model.
+    /// At construction these are absorbed into the run's [`FaultPlan`]
+    /// ([`FaultPlan::absorb_conditions`]) and executed by the engine's fault
+    /// injector; richer schedules (link failures, partitions, loss ramps,
+    /// value injection) enter through [`GossipSimulation::with_faults`].
     pub conditions: NetworkConditions,
     /// Leader-election policy for network-size estimation; `None` disables
     /// counting instances entirely.
@@ -72,7 +76,7 @@ impl SimulationConfig {
     /// values and [`SimConfigError::InvalidConditions`] for failure
     /// parameters that are not probabilities.
     pub fn validate(&self, initial_values: &[f64]) -> Result<(), SimConfigError> {
-        if !self.conditions.is_valid() {
+        if self.conditions.validate().is_err() {
             return Err(SimConfigError::InvalidConditions {
                 message_loss: self.conditions.message_loss,
                 crash_fraction: self.conditions.crash_fraction,
@@ -93,6 +97,10 @@ pub struct CycleSummary {
     pub exchanges: usize,
     /// Number of messages dropped by the loss model.
     pub messages_lost: usize,
+    /// Number of exchange attempts vetoed by the fault lab before any
+    /// message was formed (dead link or active partition between the
+    /// endpoints). Always zero under the empty [`FaultPlan`].
+    pub exchanges_blocked: usize,
     /// Variance of the default-instance estimates over live nodes.
     pub estimate_variance: f64,
     /// Mean of the default-instance estimates over live nodes.
@@ -125,6 +133,12 @@ pub struct GossipSimulation {
     cycle: usize,
     rng: StdRng,
     sampler: Box<dyn PeerSampler>,
+    /// The fault lab. By default a [`PlanInjector`] over the run's
+    /// [`FaultPlan`] with the configured [`NetworkConditions`] absorbed
+    /// underneath, so every run — faulty or not — executes through one
+    /// injector path; the empty plan is bit-identical to the pre-fault-lab
+    /// engine (pinned by `tests/determinism.rs`).
+    injector: Box<dyn FaultInjector>,
     last_size_estimate: Option<f64>,
     scratch_pushes: Vec<GossipMessage>,
     scratch_replies: Vec<GossipMessage>,
@@ -142,11 +156,12 @@ impl GossipSimulation {
     /// # Panics
     ///
     /// Panics when the peer-sampling configuration cannot be realised (e.g.
-    /// invalid overlay-generator parameters); [`GossipSimulation::try_new`]
-    /// reports the same condition as [`SimConfigError::Sampler`].
+    /// invalid overlay-generator parameters) or the failure conditions are
+    /// not probabilities; [`GossipSimulation::try_new`] reports the same
+    /// conditions as typed errors.
     pub fn new(config: SimulationConfig, initial_values: &[f64], master_seed: u64) -> Self {
-        GossipSimulation::build(config, initial_values, master_seed)
-            .expect("invalid peer-sampling configuration")
+        GossipSimulation::build(config, initial_values, master_seed, FaultPlan::none())
+            .expect("invalid simulation configuration")
     }
 
     /// Validating variant of [`GossipSimulation::new`], mirroring the
@@ -163,14 +178,43 @@ impl GossipSimulation {
         master_seed: u64,
     ) -> Result<Self, SimConfigError> {
         config.validate(initial_values)?;
-        GossipSimulation::build(config, initial_values, master_seed)
+        GossipSimulation::build(config, initial_values, master_seed, FaultPlan::none())
+    }
+
+    /// Creates a simulation executing the given [`FaultPlan`] (with the
+    /// configuration's [`NetworkConditions`] absorbed underneath it) — the
+    /// entry point of the fault-injection lab. With [`FaultPlan::none`] this
+    /// is exactly [`GossipSimulation::try_new`].
+    ///
+    /// # Errors
+    ///
+    /// Everything [`GossipSimulation::try_new`] rejects, plus
+    /// [`SimConfigError::Faults`] for a malformed schedule.
+    pub fn with_faults(
+        config: SimulationConfig,
+        initial_values: &[f64],
+        master_seed: u64,
+        plan: FaultPlan,
+    ) -> Result<Self, SimConfigError> {
+        config.validate(initial_values)?;
+        GossipSimulation::build(config, initial_values, master_seed, plan)
     }
 
     fn build(
         config: SimulationConfig,
         initial_values: &[f64],
         master_seed: u64,
+        plan: FaultPlan,
     ) -> Result<Self, SimConfigError> {
+        config
+            .conditions
+            .validate()
+            .map_err(|_| SimConfigError::InvalidConditions {
+                message_loss: config.conditions.message_loss,
+                crash_fraction: config.conditions.crash_fraction,
+            })?;
+        let plan = plan.absorb_conditions(config.conditions);
+        plan.validate()?;
         let mut arena = NodeArena::new();
         let mut initial_ids = Vec::with_capacity(initial_values.len());
         for &v in initial_values {
@@ -178,12 +222,17 @@ impl GossipSimulation {
         }
         let seeds = SeedSequence::new(master_seed);
         let sampler = instantiate_sampler(config.sampler, &initial_ids, &seeds)?;
+        let injector = Box::new(PlanInjector::new(
+            plan,
+            seeds.seed_for_labeled(0, crate::sampling::FAULTS_STREAM),
+        ));
         let mut sim = GossipSimulation {
             config,
             arena,
             cycle: 0,
             rng: seeds.rng_for_run(0),
             sampler,
+            injector,
             last_size_estimate: None,
             scratch_pushes: Vec::new(),
             scratch_replies: Vec::new(),
@@ -320,10 +369,28 @@ impl GossipSimulation {
     /// are bit-identical to the pre-extraction engine, which
     /// `tests/determinism.rs` pins.
     pub fn run_cycle(&mut self) -> CycleSummary {
-        let conditions = self.config.conditions;
         let mut tally = ExchangeTally::default();
+        let mut exchanges_blocked = 0usize;
 
-        // Overlay maintenance first, in lockstep with the aggregation cycle:
+        // Fault lab first: enter the cycle, fire any scheduled crash burst
+        // (victims drawn through the ordinary churn path, so arena free
+        // lists and sampler notifications behave exactly as under churn),
+        // then apply adversarial value injections. Under the empty plan all
+        // of this is a no-op that consumes no randomness.
+        self.injector.begin_cycle(self.cycle);
+        let crash_victims = self.injector.crash_count(self.arena.len());
+        if crash_victims > 0 {
+            self.remove_random_nodes(crash_victims);
+        }
+        for (pos, value) in self.injector.corruptions(self.arena.len()) {
+            let slot = self.arena.live_slots()[pos];
+            if let Some(node) = self.arena.node_at_slot_mut(slot) {
+                node.corrupt_estimate(value);
+            }
+        }
+        let loss = self.injector.loss_probability();
+
+        // Overlay maintenance next, in lockstep with the aggregation cycle:
         // NEWSCAST exchanges and ages its views here (from its own labelled
         // seed stream — the engine's schedule draws below are untouched, so
         // the uniform configuration stays bit-identical to the pre-sampler
@@ -361,6 +428,18 @@ impl GossipSimulation {
             let Some(peer_id) = peer_id else {
                 continue;
             };
+            // The fault lab vetoes the contact attempt when the link is dead
+            // or a partition separates the endpoints — the exchange simply
+            // does not happen, and the failed contact is reported to the
+            // peer-sampling layer exactly like a contact with a dead node,
+            // so cached views (NEWSCAST) tail-drop unreachable neighbours
+            // and heal around dead links and partitions.
+            let initiator_id = self.arena.id_at_slot(initiator_slot);
+            if self.injector.link_blocked(initiator_id, peer_id) {
+                self.sampler.peer_failed(initiator_id, peer_id);
+                exchanges_blocked += 1;
+                continue;
+            }
             let peer_slot = self.arena.slot_of(peer_id).expect("sampled peer is live");
             let arena = &mut self.arena;
             let rng = &mut self.rng;
@@ -372,7 +451,7 @@ impl GossipSimulation {
             }
             tally.exchanges += 1;
             self.scratch_replies.clear();
-            let mut lost = || conditions.message_lost(rng);
+            let mut lost = || loss > 0.0 && rng.gen_bool(loss);
             let peer = arena
                 .node_at_slot_mut(peer_slot)
                 .expect("live within cycle");
@@ -445,6 +524,7 @@ impl GossipSimulation {
             live_nodes: self.arena.len(),
             exchanges,
             messages_lost,
+            exchanges_blocked,
             estimate_variance: stats.sample_variance(),
             estimate_mean: stats.mean(),
             completed_epoch,
@@ -850,6 +930,150 @@ mod tests {
         let mut checked = GossipSimulation::try_new(config, &[1.0, 5.0], 7).unwrap();
         let mut plain = GossipSimulation::new(config, &[1.0, 5.0], 7);
         assert_eq!(checked.run(3), plain.run(3));
+    }
+
+    #[test]
+    fn empty_fault_plan_is_identical_to_the_plain_constructor() {
+        let values: Vec<f64> = (0..200).map(|i| (i % 13) as f64).collect();
+        let config = averaging_config(10);
+        let mut plain = GossipSimulation::new(config, &values, 7);
+        let mut faulted =
+            GossipSimulation::with_faults(config, &values, 7, FaultPlan::none()).unwrap();
+        assert_eq!(plain.run(12), faulted.run(12));
+    }
+
+    #[test]
+    fn dead_links_block_exchanges_but_the_protocol_still_converges() {
+        let values: Vec<f64> = (0..400).map(|i| i as f64).collect();
+        let true_mean = aggregate_core::avg::mean(&values);
+        let plan = FaultPlan::with_link_failure(0.2);
+        let mut sim =
+            GossipSimulation::with_faults(averaging_config(100), &values, 11, plan).unwrap();
+        let summaries = sim.run(25);
+        let blocked: usize = summaries.iter().map(|s| s.exchanges_blocked).sum();
+        let attempted: usize = summaries.iter().map(|s| s.exchanges).sum::<usize>() + blocked;
+        let blocked_rate = blocked as f64 / attempted as f64;
+        assert!(
+            (blocked_rate - 0.2).abs() < 0.03,
+            "blocked rate {blocked_rate} should track the 20% dead-link probability"
+        );
+        let last = summaries.last().unwrap();
+        assert!(
+            last.estimate_variance < 1e-3,
+            "graceful degradation: still converging, variance {}",
+            last.estimate_variance
+        );
+        assert!((last.estimate_mean - true_mean).abs() < 1e-9);
+    }
+
+    #[test]
+    fn a_partition_splits_convergence_and_healing_restores_the_global_mean() {
+        // Two value populations: while partitioned, each side converges to
+        // its own mean, so the whole-network variance plateaus above zero;
+        // healing lets the halves re-merge toward the global average.
+        let values: Vec<f64> = (0..300).map(|i| i as f64).collect();
+        let true_mean = aggregate_core::avg::mean(&values);
+        let plan = FaultPlan::with_partition(0, 10, 0.5);
+        let mut sim =
+            GossipSimulation::with_faults(averaging_config(1_000), &values, 13, plan).unwrap();
+        let during = sim.run(10);
+        let split_var = during.last().unwrap().estimate_variance;
+        assert!(
+            split_var > 1.0,
+            "two isolated sides cannot reach consensus (variance {split_var})"
+        );
+        assert!(during.iter().all(|s| s.exchanges_blocked > 0));
+        let healed = sim.run(25);
+        let last = healed.last().unwrap();
+        assert_eq!(last.exchanges_blocked, 0);
+        assert!(
+            last.estimate_variance < 1e-3,
+            "healed network must converge, variance {}",
+            last.estimate_variance
+        );
+        assert!((last.estimate_mean - true_mean).abs() < 1e-9);
+    }
+
+    #[test]
+    fn value_injection_perturbs_the_mean_and_the_protocol_dilutes_it() {
+        let values = vec![1.0; 200];
+        let plan = FaultPlan {
+            injections: vec![gossip_faults::ValueInjection {
+                cycle: 2,
+                fraction: 0.1,
+                value: 1_001.0,
+            }],
+            ..FaultPlan::default()
+        };
+        let mut sim =
+            GossipSimulation::with_faults(averaging_config(100), &values, 17, plan).unwrap();
+        sim.run(2);
+        let poisoned = sim.run_cycle();
+        // 20 nodes now push mass 1000 each into the averaging: the mean
+        // jumps to ≈ 1 + 20·1000/200 = 101.
+        assert!(
+            poisoned.estimate_mean > 50.0,
+            "injection must move the mean, got {}",
+            poisoned.estimate_mean
+        );
+        let later = sim.run(20).pop().unwrap();
+        // Mass conservation: the corrupted mass stays in the system and the
+        // network converges *to the corrupted average* — the attack is
+        // diluted into consensus, not amplified.
+        assert!(
+            later.estimate_variance < 1e-3,
+            "network must re-converge, variance {}",
+            later.estimate_variance
+        );
+        assert!((later.estimate_mean - poisoned.estimate_mean).abs() < 1.0);
+    }
+
+    #[test]
+    fn dead_links_compose_with_the_newscast_sampler() {
+        // The fault lab must work through a partial view too: a vetoed
+        // contact is reported as a failed contact (tail-drop eviction of
+        // the unreachable descriptor), the blocked rate tracks the
+        // dead-link probability (NEWSCAST maintenance keeps re-learning
+        // descriptors, so the steady state stays near the link rate), and
+        // the protocol still converges to the exact mean.
+        let values: Vec<f64> = (0..400).map(|i| i as f64).collect();
+        let true_mean = aggregate_core::avg::mean(&values);
+        let config = SimulationConfig {
+            sampler: aggregate_core::sampler::SamplerConfig::newscast(),
+            ..averaging_config(200)
+        };
+        let plan = FaultPlan::with_link_failure(0.2);
+        let mut sim = GossipSimulation::with_faults(config, &values, 21, plan).unwrap();
+        let summaries = sim.run(30);
+        let blocked: usize = summaries.iter().map(|s| s.exchanges_blocked).sum();
+        let attempted: usize = summaries.iter().map(|s| s.exchanges).sum::<usize>() + blocked;
+        let blocked_rate = blocked as f64 / attempted as f64;
+        assert!(
+            (blocked_rate - 0.2).abs() < 0.05,
+            "blocked rate {blocked_rate} should track the dead-link probability"
+        );
+        let last = summaries.last().unwrap();
+        assert!(
+            last.estimate_variance < 1e-6,
+            "NEWSCAST + dead links must still converge, variance {}",
+            last.estimate_variance
+        );
+        assert!((last.estimate_mean - true_mean).abs() < 1e-9);
+    }
+
+    #[test]
+    fn malformed_fault_plans_are_rejected_with_typed_errors() {
+        let config = averaging_config(10);
+        let bad = FaultPlan::with_link_failure(1.5);
+        assert!(matches!(
+            GossipSimulation::with_faults(config, &[1.0, 2.0], 1, bad).err(),
+            Some(SimConfigError::Faults { .. })
+        ));
+        let bad = FaultPlan::with_partition(5, 5, 0.5);
+        assert!(matches!(
+            GossipSimulation::with_faults(config, &[1.0, 2.0], 1, bad).err(),
+            Some(SimConfigError::Faults { .. })
+        ));
     }
 
     #[test]

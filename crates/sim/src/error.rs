@@ -56,6 +56,21 @@ pub enum SimConfigError {
         /// Human-readable rejection reason.
         reason: String,
     },
+    /// The fault schedule is malformed (a probability out of range, an empty
+    /// partition window, a reversed loss ramp, …).
+    Faults {
+        /// Human-readable rejection reason (from
+        /// [`gossip_faults::FaultPlanError`]).
+        reason: String,
+    },
+}
+
+impl From<gossip_faults::FaultPlanError> for SimConfigError {
+    fn from(e: gossip_faults::FaultPlanError) -> Self {
+        SimConfigError::Faults {
+            reason: e.to_string(),
+        }
+    }
 }
 
 impl fmt::Display for SimConfigError {
@@ -93,6 +108,9 @@ impl fmt::Display for SimConfigError {
             }
             SimConfigError::Sampler { ref reason } => {
                 write!(f, "peer-sampling configuration rejected: {reason}")
+            }
+            SimConfigError::Faults { ref reason } => {
+                write!(f, "fault schedule rejected: {reason}")
             }
         }
     }
@@ -206,6 +224,9 @@ mod tests {
             },
             SimConfigError::Sampler {
                 reason: "degree 50 too large".to_string(),
+            },
+            SimConfigError::Faults {
+                reason: "link_failure 2 must be a probability in [0, 1]".to_string(),
             },
         ] {
             assert!(!error.to_string().is_empty());

@@ -10,8 +10,12 @@
 //! without synchronised starts, supporting the paper's claim that the
 //! synchronisation assumption can be relaxed.
 
+use crate::sampling::{instantiate_sampler, FAULTS_STREAM};
+use crate::SeedSequence;
 use aggregate_core::node::ProtocolNode;
+use aggregate_core::sampler::{sample_live_peer, PeerSampler, SamplerConfig, SamplerDirectory};
 use aggregate_core::{ExchangeCore, GossipMessage, ProtocolConfig};
+use gossip_faults::{FaultInjector, FaultPlan, PlanInjector};
 use overlay_topology::NodeId;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -24,7 +28,7 @@ use std::fmt;
 /// the event queue: negative, zero (where forbidden), NaN or infinite values
 /// schedule events backwards in time or at times that defeat the queue's
 /// ordering (NaN compares as `Equal` in the internal event queue).
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum AsyncConfigError {
     /// `message_latency` is negative, NaN or infinite.
     InvalidLatency {
@@ -38,16 +42,34 @@ pub enum AsyncConfigError {
         /// The rejected value.
         value: f64,
     },
+    /// The peer-sampling configuration cannot be realised (invalid overlay
+    /// generator parameters, zero NEWSCAST cache, unknown variant).
+    Sampler {
+        /// Human-readable rejection reason.
+        reason: String,
+    },
+    /// The fault schedule is malformed (a probability out of range, an
+    /// empty partition window, a reversed loss ramp, …).
+    Faults {
+        /// Human-readable rejection reason.
+        reason: String,
+    },
 }
 
 impl fmt::Display for AsyncConfigError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match *self {
+        match self {
             AsyncConfigError::InvalidLatency { value } => {
                 write!(f, "message latency {value} must be finite and ≥ 0")
             }
             AsyncConfigError::InvalidWakeup { parameter, value } => {
                 write!(f, "wakeup {parameter} {value} must be finite and > 0")
+            }
+            AsyncConfigError::Sampler { reason } => {
+                write!(f, "peer-sampling configuration rejected: {reason}")
+            }
+            AsyncConfigError::Faults { reason } => {
+                write!(f, "fault schedule rejected: {reason}")
             }
         }
     }
@@ -105,6 +127,17 @@ impl WakeupDistribution {
             WakeupDistribution::Exponential { mean } => sample_exponential(mean, rng),
         }
     }
+
+    /// The span of simulated time that plays the role of one protocol cycle
+    /// (each node wakes once per such span in expectation). The fault lab
+    /// and the overlay-maintenance clock both advance on this grid, mapping
+    /// the cycle-indexed [`FaultPlan`] onto continuous time.
+    pub fn cycle_duration(&self) -> f64 {
+        match *self {
+            WakeupDistribution::FixedPeriod { period } => period,
+            WakeupDistribution::Exponential { mean } => mean,
+        }
+    }
 }
 
 fn sample_exponential<R: Rng + ?Sized>(mean: f64, rng: &mut R) -> f64 {
@@ -139,6 +172,13 @@ pub struct AsyncConfig {
     /// One-way message latency in simulated time units (applied to pushes and
     /// replies independently).
     pub message_latency: f64,
+    /// The peer-sampling layer exchange partners are drawn from, exactly as
+    /// in the cycle engines: uniform-complete (the default, bit-identical to
+    /// the engine's historical uniform pick loop), a static overlay, or a
+    /// live NEWSCAST membership whose view exchanges run once per
+    /// cycle-equivalent of simulated time (the wakeup period, or the mean
+    /// waiting time for exponential wakeups).
+    pub sampler: SamplerConfig,
 }
 
 impl AsyncConfig {
@@ -200,15 +240,50 @@ impl PartialOrd for QueuedEvent {
     }
 }
 
+/// The async engine's [`SamplerDirectory`]: positions enumerate the dense
+/// live list (node-index order until the first crash perturbs it), liveness
+/// is one array lookup.
+#[derive(Debug, Clone, Copy)]
+struct AsyncDirectory<'a> {
+    live: &'a [u32],
+    pos_of: &'a [u32],
+}
+
+impl SamplerDirectory for AsyncDirectory<'_> {
+    fn len(&self) -> usize {
+        self.live.len()
+    }
+
+    fn id_at(&self, pos: usize) -> NodeId {
+        NodeId::new(self.live[pos] as usize)
+    }
+
+    fn is_live(&self, id: NodeId) -> bool {
+        self.pos_of
+            .get(id.index())
+            .is_some_and(|&pos| pos != u32::MAX)
+    }
+}
+
 /// Event-driven simulation of the asynchronous protocol.
 #[derive(Debug)]
 pub struct AsyncSimulation {
     config: AsyncConfig,
     nodes: Vec<ProtocolNode>,
+    /// Dense list of live node indices (swap-remove on crash).
+    live: Vec<u32>,
+    /// Per node index: its position in `live`, or `u32::MAX` once crashed.
+    pos_of: Vec<u32>,
     queue: BinaryHeap<Reverse<QueuedEvent>>,
     now: f64,
     sequence: u64,
     rng: StdRng,
+    sampler: Box<dyn PeerSampler>,
+    /// The fault lab, advanced on the wakeup-period grid: simulated time
+    /// `[c·Δt, (c+1)·Δt)` maps to plan cycle `c`.
+    injector: Box<dyn FaultInjector>,
+    fault_cycle: usize,
+    cycle_duration: f64,
     scratch: Vec<GossipMessage>,
 }
 
@@ -220,27 +295,75 @@ impl AsyncSimulation {
     ///
     /// Returns [`AsyncConfigError`] when the configuration's latency or
     /// wakeup parameters are invalid (negative, zero where forbidden, NaN or
-    /// infinite) — accepted, they would corrupt the event-queue ordering.
+    /// infinite) — accepted, they would corrupt the event-queue ordering —
+    /// or when the peer-sampling configuration cannot be realised.
     pub fn new(
         config: AsyncConfig,
         initial_values: &[f64],
         seed: u64,
     ) -> Result<Self, AsyncConfigError> {
+        AsyncSimulation::with_faults(config, initial_values, seed, FaultPlan::none())
+    }
+
+    /// Creates the simulation executing the given [`FaultPlan`]: losses hit
+    /// in-flight messages, link failures and partitions veto contact
+    /// attempts at wakeup time, crash bursts silence nodes for good and
+    /// value injections corrupt running estimates. The plan's cycle index
+    /// maps onto simulated time through
+    /// [`WakeupDistribution::cycle_duration`]. With [`FaultPlan::none`] this
+    /// is exactly [`AsyncSimulation::new`], bit for bit.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`AsyncSimulation::new`] rejects, plus
+    /// [`AsyncConfigError::Faults`] for a malformed schedule.
+    pub fn with_faults(
+        config: AsyncConfig,
+        initial_values: &[f64],
+        seed: u64,
+        plan: FaultPlan,
+    ) -> Result<Self, AsyncConfigError> {
         config.validate()?;
+        plan.validate().map_err(|e| AsyncConfigError::Faults {
+            reason: e.to_string(),
+        })?;
         let nodes: Vec<ProtocolNode> = initial_values
             .iter()
             .enumerate()
             .map(|(i, &v)| ProtocolNode::new(NodeId::new(i), config.protocol, v))
             .collect();
+        let initial_ids: Vec<NodeId> = (0..nodes.len()).map(NodeId::new).collect();
+        // Sampler and fault randomness come from labelled streams of the
+        // master seed; the engine's own schedule RNG keeps its historical
+        // direct seeding, so default-configuration runs reproduce the
+        // pre-sampler trajectories bit for bit.
+        let seeds = SeedSequence::new(seed);
+        let sampler = instantiate_sampler(config.sampler, &initial_ids, &seeds).map_err(|e| {
+            AsyncConfigError::Sampler {
+                reason: e.to_string(),
+            }
+        })?;
+        let injector = Box::new(PlanInjector::new(
+            plan,
+            seeds.seed_for_labeled(0, FAULTS_STREAM),
+        ));
+        let n = nodes.len();
         let mut sim = AsyncSimulation {
+            cycle_duration: config.wakeup.cycle_duration(),
             config,
             nodes,
+            live: (0..n as u32).collect(),
+            pos_of: (0..n as u32).collect(),
             queue: BinaryHeap::new(),
             now: 0.0,
             sequence: 0,
             rng: StdRng::seed_from_u64(seed),
+            sampler,
+            injector,
+            fault_cycle: 0,
             scratch: Vec::new(),
         };
+        sim.enter_fault_cycle(0);
         for i in 0..sim.nodes.len() {
             let t = sim.config.wakeup.first_wakeup(&mut sim.rng);
             sim.schedule(t, Event::Wakeup(NodeId::new(i)));
@@ -253,9 +376,76 @@ impl AsyncSimulation {
         self.now
     }
 
-    /// Current estimates of all nodes.
+    /// Number of nodes that have not crashed.
+    pub fn live_count(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Whether `id` is live (present and not crashed).
+    pub fn is_live(&self, id: NodeId) -> bool {
+        self.pos_of
+            .get(id.index())
+            .is_some_and(|&pos| pos != u32::MAX)
+    }
+
+    /// Current estimates of all live nodes (crashed nodes are excluded; the
+    /// order is the dense live order, which equals node order until the
+    /// first crash).
     pub fn estimates(&self) -> Vec<f64> {
-        self.nodes.iter().filter_map(|n| n.estimate()).collect()
+        self.live
+            .iter()
+            .filter_map(|&i| self.nodes[i as usize].estimate())
+            .collect()
+    }
+
+    /// Crashes the node at `pos` of the live list: it stops waking up,
+    /// in-flight messages to it are dropped on delivery, and the sampler is
+    /// notified exactly as under churn.
+    fn crash_at_position(&mut self, pos: usize) {
+        let idx = self.live.swap_remove(pos);
+        self.pos_of[idx as usize] = u32::MAX;
+        if pos < self.live.len() {
+            let moved = self.live[pos];
+            self.pos_of[moved as usize] = pos as u32;
+        }
+        self.sampler.on_depart(NodeId::new(idx as usize));
+    }
+
+    /// Enters plan cycle `cycle`: fires crash bursts (victims from the
+    /// engine RNG, as in the cycle engines), applies value injections, and
+    /// runs one round of overlay maintenance. Free under the empty plan
+    /// with uniform sampling.
+    fn enter_fault_cycle(&mut self, cycle: usize) {
+        self.fault_cycle = cycle;
+        self.injector.begin_cycle(cycle);
+        let crash_victims = self.injector.crash_count(self.live.len());
+        for _ in 0..crash_victims {
+            if self.live.is_empty() {
+                break;
+            }
+            let pos = self.rng.gen_range(0..self.live.len());
+            self.crash_at_position(pos);
+        }
+        for (pos, value) in self.injector.corruptions(self.live.len()) {
+            let idx = self.live[pos] as usize;
+            self.nodes[idx].corrupt_estimate(value);
+        }
+        let AsyncSimulation {
+            sampler,
+            live,
+            pos_of,
+            ..
+        } = self;
+        sampler.begin_cycle(&AsyncDirectory { live, pos_of });
+    }
+
+    /// Advances the fault-lab clock to cover `time`: every wakeup-period
+    /// boundary crossed enters the next plan cycle.
+    fn advance_fault_cycles(&mut self, time: f64) {
+        while (self.fault_cycle + 1) as f64 * self.cycle_duration <= time {
+            let next = self.fault_cycle + 1;
+            self.enter_fault_cycle(next);
+        }
     }
 
     /// Runs the simulation until `end_time`, taking a [`TimeSample`] every
@@ -293,6 +483,7 @@ impl AsyncSimulation {
                 next_sample = sample_index as f64 * sample_interval;
             }
             self.now = entry.time;
+            self.advance_fault_cycles(entry.time);
             self.dispatch(entry.event);
         }
         while next_sample <= end_time {
@@ -316,22 +507,53 @@ impl AsyncSimulation {
     fn dispatch(&mut self, event: Event) {
         match event {
             Event::Wakeup(node_id) => {
-                let n = self.nodes.len();
-                if n >= 2 {
-                    // Uniform random peer over the complete overlay.
-                    let peer = loop {
-                        let candidate = NodeId::new(self.rng.gen_range(0..n));
-                        if candidate != node_id {
-                            break candidate;
-                        }
+                // A crashed node stays silent for good: its wakeup chain
+                // ends here (no reschedule).
+                if !self.is_live(node_id) {
+                    return;
+                }
+                if self.live.len() >= 2 {
+                    // Partner from the peer-sampling layer. The default
+                    // uniform sampler consumes the engine RNG exactly like
+                    // the historical inline pick loop, so default runs stay
+                    // bit-identical.
+                    let peer = {
+                        let AsyncSimulation {
+                            sampler,
+                            live,
+                            pos_of,
+                            rng,
+                            ..
+                        } = self;
+                        let initiator_pos = pos_of[node_id.index()] as usize;
+                        sample_live_peer(
+                            sampler.as_mut(),
+                            &AsyncDirectory { live, pos_of },
+                            initiator_pos,
+                            rng,
+                        )
                     };
-                    let mut pushes = std::mem::take(&mut self.scratch);
-                    ExchangeCore::begin(&mut self.nodes[node_id.index()], peer, &mut pushes);
-                    for push in pushes.drain(..) {
-                        let delay = self.config.message_latency;
-                        self.schedule(self.now + delay, Event::Deliver(push));
+                    // The fault lab vetoes the contact when the link is dead
+                    // or a partition separates the endpoints; the node's
+                    // local clock still ticks, and the failed contact is
+                    // reported to the sampler (tail-drop healing).
+                    if let Some(peer) = peer {
+                        if self.injector.link_blocked(node_id, peer) {
+                            self.sampler.peer_failed(node_id, peer);
+                        } else {
+                            let mut pushes = std::mem::take(&mut self.scratch);
+                            ExchangeCore::begin(
+                                &mut self.nodes[node_id.index()],
+                                peer,
+                                &mut pushes,
+                            );
+                            for push in pushes.drain(..) {
+                                let delay = self.config.message_latency;
+                                self.schedule(self.now + delay, Event::Deliver(push));
+                            }
+                            self.scratch = pushes;
+                        }
                     }
-                    self.scratch = pushes;
                     // One wakeup is one local cycle for the epoch machinery.
                     self.nodes[node_id.index()].end_cycle();
                 }
@@ -340,7 +562,13 @@ impl AsyncSimulation {
             }
             Event::Deliver(message) => {
                 let recipient = message.recipient();
-                if recipient.index() >= self.nodes.len() {
+                if recipient.index() >= self.nodes.len() || !self.is_live(recipient) {
+                    return;
+                }
+                // Message omission: each in-flight message (push or reply)
+                // is lost independently at the cycle's effective loss rate.
+                let loss = self.injector.loss_probability();
+                if loss > 0.0 && self.rng.gen_bool(loss) {
                     return;
                 }
                 if let Some(reply) =
@@ -377,6 +605,7 @@ mod tests {
                 .unwrap(),
             wakeup,
             message_latency: 0.01,
+            sampler: SamplerConfig::UniformComplete,
         }
     }
 
@@ -590,6 +819,109 @@ mod tests {
         };
         assert!(zero_latency.validate().is_ok());
         assert!(AsyncSimulation::new(zero_latency, &values, 1).is_ok());
+    }
+
+    #[test]
+    fn empty_fault_plan_is_bit_identical_to_the_plain_constructor() {
+        let values: Vec<f64> = (0..200).map(|i| (i % 31) as f64).collect();
+        let cfg = config(WakeupDistribution::FixedPeriod { period: 1.0 });
+        let mut plain = AsyncSimulation::new(cfg, &values, 37).unwrap();
+        let mut faulted =
+            AsyncSimulation::with_faults(cfg, &values, 37, FaultPlan::none()).unwrap();
+        let a = plain.run_until(12.0, 1.0);
+        let b = faulted.run_until(12.0, 1.0);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.time.to_bits(), y.time.to_bits());
+            assert_eq!(x.mean.to_bits(), y.mean.to_bits(), "t={}", x.time);
+            assert_eq!(x.variance.to_bits(), y.variance.to_bits(), "t={}", x.time);
+        }
+    }
+
+    #[test]
+    fn newscast_sampling_converges_on_the_async_engine() {
+        let values: Vec<f64> = (0..300).map(|i| i as f64).collect();
+        let true_mean = aggregate_core::avg::mean(&values);
+        let cfg = AsyncConfig {
+            sampler: SamplerConfig::newscast(),
+            ..config(WakeupDistribution::FixedPeriod { period: 1.0 })
+        };
+        let mut sim = AsyncSimulation::new(cfg, &values, 3).unwrap();
+        let samples = sim.run_until(20.0, 1.0);
+        let last = samples.last().unwrap();
+        assert!(last.variance < 1e-2, "variance {} too large", last.variance);
+        assert!((last.mean - true_mean).abs() < 1.0);
+    }
+
+    #[test]
+    fn invalid_sampler_configurations_are_rejected() {
+        let cfg = AsyncConfig {
+            sampler: SamplerConfig::Newscast { cache_size: 0 },
+            ..config(WakeupDistribution::FixedPeriod { period: 1.0 })
+        };
+        assert!(matches!(
+            AsyncSimulation::new(cfg, &[1.0, 2.0], 1),
+            Err(AsyncConfigError::Sampler { .. })
+        ));
+    }
+
+    #[test]
+    fn crash_bursts_silence_nodes_and_survivors_keep_converging() {
+        let values: Vec<f64> = (0..200).map(|i| i as f64).collect();
+        let cfg = config(WakeupDistribution::FixedPeriod { period: 1.0 });
+        let plan = FaultPlan::with_crash_burst(5, 0.3);
+        let mut sim = AsyncSimulation::with_faults(cfg, &values, 7, plan).unwrap();
+        let samples = sim.run_until(25.0, 1.0);
+        assert_eq!(sim.live_count(), 140);
+        assert_eq!(sim.estimates().len(), 140);
+        let last = samples.last().unwrap();
+        assert!(
+            last.variance < 1e-2,
+            "survivors must converge, variance {}",
+            last.variance
+        );
+        // The crash biases the surviving average away from the global one,
+        // but it stays a finite consensus value inside the initial range.
+        assert!(last.mean.is_finite());
+        assert!((0.0..200.0).contains(&last.mean));
+    }
+
+    #[test]
+    fn message_loss_slows_but_does_not_prevent_async_convergence() {
+        let values: Vec<f64> = (0..200).map(|i| i as f64).collect();
+        let cfg = config(WakeupDistribution::FixedPeriod { period: 1.0 });
+        let mut reliable = AsyncSimulation::new(cfg, &values, 11).unwrap();
+        let mut lossy =
+            AsyncSimulation::with_faults(cfg, &values, 11, FaultPlan::with_message_loss(0.2))
+                .unwrap();
+        let r = reliable.run_until(15.0, 15.0);
+        let l = lossy.run_until(15.0, 15.0);
+        let (rv, lv) = (r.last().unwrap().variance, l.last().unwrap().variance);
+        assert!(lv < 1.0, "lossy async run still converges, got {lv}");
+        assert!(rv <= lv, "loss can only slow convergence ({rv} vs {lv})");
+    }
+
+    #[test]
+    fn a_healed_async_partition_converges_to_the_global_average() {
+        let values: Vec<f64> = (0..200).map(|i| i as f64).collect();
+        let true_mean = aggregate_core::avg::mean(&values);
+        let cfg = config(WakeupDistribution::FixedPeriod { period: 1.0 });
+        // Split over t ∈ [2, 10): while split, the two sides converge to
+        // different means; after healing everything meets the global one.
+        let plan = FaultPlan::with_partition(2, 10, 0.5);
+        let mut sim = AsyncSimulation::with_faults(cfg, &values, 13, plan).unwrap();
+        let during = sim.run_until(9.0, 1.0);
+        let while_split = during.last().unwrap();
+        let healed = sim.run_until(40.0, 1.0);
+        let after = healed.last().unwrap();
+        assert!(
+            after.variance < while_split.variance.max(1e-6),
+            "healing must resume convergence ({} -> {})",
+            while_split.variance,
+            after.variance
+        );
+        assert!(after.variance < 1e-2, "variance {}", after.variance);
+        assert!((after.mean - true_mean).abs() < 1.0);
     }
 
     #[test]

@@ -57,26 +57,31 @@
 
 pub mod arena;
 mod churn;
-mod conditions;
 mod engine;
 mod error;
 mod event_engine;
 pub mod overlay;
 mod rng;
+pub mod robustness;
 pub mod runner;
 pub mod sampling;
 pub mod sharded;
 mod values;
 
 pub use churn::ChurnSchedule;
-pub use conditions::NetworkConditions;
 pub use engine::{CycleSummary, GossipSimulation, SimulationConfig};
+// The failure models live in `gossip-faults` (the fault-injection lab);
+// re-exported here because every simulation configuration embeds them.
 pub use error::{SimConfigError, SimError};
 pub use event_engine::{
     AsyncConfig, AsyncConfigError, AsyncSimulation, TimeSample, WakeupDistribution,
 };
+pub use gossip_faults::{
+    ConditionsError, FaultInjector, FaultPlan, NetworkConditions, PlanInjector,
+};
 pub use overlay::{OverlayExperiment, OverlayMeasurement};
 pub use rng::SeedSequence;
+pub use robustness::{RobustnessPoint, RobustnessSweep};
 pub use sampling::instantiate_sampler;
 pub use sharded::{ShardedConfig, ShardedCycleSummary, ShardedSimulation};
 pub use values::ValueDistribution;

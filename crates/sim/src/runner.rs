@@ -552,12 +552,12 @@ pub fn robustness_run(
     let seeds = SeedSequence::new(seed);
     let mut rng = seeds.rng_for_labeled(0, "values");
     let values = ValueDistribution::Uniform { lo: 0.0, hi: 1.0 }.generate(nodes, &mut rng);
+    // The engine's fault injector absorbs the conditions (constant loss plus
+    // the one-shot crash burst), so the crash fires inside `run_cycle` at
+    // the scheduled cycle — same victims, same RNG order as the historical
+    // runner-driven crash.
     let mut sim = GossipSimulation::new(config, &values, seed);
-    for cycle in 0..cycles {
-        if conditions.crash_at_cycle == Some(cycle) {
-            let crash_count = (conditions.crash_fraction * sim.live_count() as f64) as usize;
-            sim.remove_random_nodes(crash_count);
-        }
+    for _ in 0..cycles {
         sim.run_cycle();
     }
     // The reference value is the average of the *surviving* nodes' inputs.

@@ -29,6 +29,11 @@ pub(crate) const MEMBERSHIP_STREAM: &str = "sampler-membership";
 /// Label of the seed stream feeding static-overlay generation.
 pub(crate) const TOPOLOGY_STREAM: &str = "sampler-topology";
 
+/// Label of the seed stream feeding the fault-injection lab (link/partition
+/// coins and adversarial victim picks). Isolated from every schedule stream,
+/// so the empty fault plan leaves engine trajectories bit-identical.
+pub(crate) const FAULTS_STREAM: &str = "fault-injection";
+
 /// Builds the [`PeerSampler`] described by `config` over the initial
 /// population `initial` (in directory order), deriving internal seeds from
 /// `seeds` through labelled streams.

@@ -53,12 +53,13 @@
 
 use crate::arena::{IdLayout, NodeArena, MAX_SHARDS};
 use crate::sampling::instantiate_sampler;
-use crate::{NetworkConditions, SeedSequence, SimConfigError, SimulationConfig};
+use crate::{SeedSequence, SimConfigError, SimulationConfig};
 use aggregate_core::node::ProtocolNode;
 use aggregate_core::sampler::{sample_live_peer, PeerSampler, SamplerConfig, SamplerDirectory};
 use aggregate_core::size_estimation;
 use aggregate_core::{ExchangeCore, ExchangeScratch, ExchangeTally, GossipMessage, InstanceTag};
 use gossip_analysis::OnlineStats;
+use gossip_faults::{FaultInjector, FaultPlan, PlanInjector};
 use overlay_topology::NodeId;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -151,6 +152,10 @@ pub struct ShardedCycleSummary {
     pub exchanges: usize,
     /// Number of messages dropped by the loss model.
     pub messages_lost: usize,
+    /// Number of exchange attempts vetoed by the fault lab at schedule
+    /// construction (dead link or active partition between the endpoints).
+    /// Always zero under the empty [`FaultPlan`].
+    pub exchanges_blocked: usize,
     /// Mean of the default-instance estimates over live nodes.
     pub estimate_mean: f64,
     /// Variance of the default-instance estimates over live nodes.
@@ -310,20 +315,35 @@ pub struct ShardedSimulation {
     /// across worker counts *and* across shard counts — hold by
     /// construction.
     sampler: Box<dyn PeerSampler>,
+    /// The fault lab. Like the sampler it is consulted exclusively on the
+    /// coordinator (cycle entry, crash bursts, value injections, link
+    /// vetoes during schedule construction); workers only ever see the
+    /// already-filtered schedule plus the cycle's scalar loss probability,
+    /// so faulted runs stay bit-identical across *worker* counts. Across
+    /// *shard* counts, the loss/crash/injection schedules are agnostic
+    /// (scalar rates, churn-stream victims, directory-position picks), but
+    /// link and partition coins key on node identifiers — which embed the
+    /// shard layout — so a link-failure or partition plan draws a
+    /// *different (statistically equivalent) fault map* per shard count;
+    /// the shard-count bit-invariance of node values holds only for plans
+    /// without identity-keyed faults.
+    injector: Box<dyn FaultInjector>,
 }
 
 /// Lazily seeded per-exchange loss model: free when the loss probability is
 /// zero, and a deterministic function of the exchange's sequence number
 /// otherwise — identical no matter which thread (or which side of a
-/// cross-shard mailbox) consumes the draws.
-fn exchange_loss(conditions: NetworkConditions, seed: u64) -> impl FnMut() -> bool {
+/// cross-shard mailbox) consumes the draws. The probability is the cycle's
+/// effective loss rate as computed by the fault injector (a plain
+/// `NetworkConditions` run feeds its constant rate through the same path).
+fn exchange_loss(loss: f64, seed: u64) -> impl FnMut() -> bool {
     let mut rng: Option<StdRng> = None;
     move || {
-        if conditions.message_loss <= 0.0 {
+        if loss <= 0.0 {
             return false;
         }
         let rng = rng.get_or_insert_with(|| StdRng::seed_from_u64(seed));
-        conditions.message_lost(rng)
+        rng.gen_bool(loss)
     }
 }
 
@@ -339,7 +359,26 @@ impl ShardedSimulation {
         initial_values: &[f64],
         master_seed: u64,
     ) -> Result<Self, SimConfigError> {
+        ShardedSimulation::with_faults(config, initial_values, master_seed, FaultPlan::none())
+    }
+
+    /// Creates a sharded simulation executing the given [`FaultPlan`] (with
+    /// the configuration's `NetworkConditions` absorbed underneath it). With
+    /// [`FaultPlan::none`] this is exactly [`ShardedSimulation::new`].
+    ///
+    /// # Errors
+    ///
+    /// Everything [`ShardedConfig::validate`] rejects, plus
+    /// [`SimConfigError::Faults`] for a malformed schedule.
+    pub fn with_faults(
+        config: ShardedConfig,
+        initial_values: &[f64],
+        master_seed: u64,
+        plan: FaultPlan,
+    ) -> Result<Self, SimConfigError> {
         config.validate(initial_values)?;
+        let plan = plan.absorb_conditions(config.base.conditions);
+        plan.validate()?;
         let shard_count = config.shards;
         let mut shards: Vec<Shard> = (0..shard_count)
             .map(|s| Shard {
@@ -359,6 +398,10 @@ impl ShardedSimulation {
         }
         let seeds = SeedSequence::new(master_seed);
         let sampler = instantiate_sampler(config.base.sampler, &global_live, &seeds)?;
+        let injector = Box::new(PlanInjector::new(
+            plan,
+            seeds.seed_for_labeled(0, crate::sampling::FAULTS_STREAM),
+        ));
         let mut sim = ShardedSimulation {
             config,
             shards,
@@ -371,6 +414,7 @@ impl ShardedSimulation {
             shard_exchange_totals: vec![0; shard_count],
             sched: ScheduleBuffers::default(),
             sampler,
+            injector,
         };
         sim.elect_leaders();
         Ok(sim)
@@ -556,6 +600,24 @@ impl ShardedSimulation {
     /// summary.
     pub fn run_cycle(&mut self) -> ShardedCycleSummary {
         let shard_count = self.config.shards;
+        // Fault lab first, entirely on the coordinator: enter the cycle,
+        // fire scheduled crash bursts through the ordinary churn path
+        // (shard-count-agnostic victim stream), apply adversarial value
+        // injections over the global directory. A run with the empty plan
+        // takes none of these branches and consumes no randomness.
+        self.injector.begin_cycle(self.cycle);
+        let crash_victims = self.injector.crash_count(self.global_live.len());
+        if crash_victims > 0 {
+            self.remove_random_nodes(crash_victims);
+        }
+        for (pos, value) in self.injector.corruptions(self.global_live.len()) {
+            let id = self.global_live[pos];
+            let shard = IdLayout::shard_of(id) as usize;
+            if let Some(node) = self.shards[shard].arena.get_mut(id) {
+                node.corrupt_estimate(value);
+            }
+        }
+        let loss = self.injector.loss_probability();
         // Overlay maintenance in lockstep with the aggregation cycle, on the
         // coordinator (identical for both executors and every worker count);
         // NEWSCAST's randomness comes from its own labelled stream, so the
@@ -572,10 +634,10 @@ impl ShardedSimulation {
                 shards,
             });
         }
-        let outs = if self.effective_workers() == 1 {
-            self.run_cycle_sequential()
+        let (outs, exchanges_blocked) = if self.effective_workers() == 1 {
+            self.run_cycle_sequential(loss)
         } else {
-            self.run_cycle_threaded()
+            self.run_cycle_threaded(loss)
         };
 
         // Merge the per-shard outputs in shard order: integer counters sum
@@ -614,6 +676,7 @@ impl ShardedSimulation {
             live_nodes: self.global_live.len(),
             exchanges: tally.exchanges,
             messages_lost: tally.messages_lost,
+            exchanges_blocked,
             estimate_mean: estimate_stats.mean(),
             estimate_variance: estimate_stats.sample_variance(),
             completed_epoch,
@@ -631,10 +694,9 @@ impl ShardedSimulation {
     /// executor for the same shard count — `tests/determinism.rs` and the
     /// unit tests pin it — while skipping the round computation, mailboxes
     /// and barriers that only pay off with real parallelism.
-    fn run_cycle_sequential(&mut self) -> Vec<ShardCycleOut> {
+    fn run_cycle_sequential(&mut self, loss: f64) -> (Vec<ShardCycleOut>, usize) {
         let shard_count = self.config.shards;
-        let conditions = self.config.base.conditions;
-        let lossy = conditions.message_loss > 0.0;
+        let lossy = loss > 0.0;
         let loss_seeds =
             SeedSequence::new(self.seeds.seed_for_labeled(self.cycle as u64, "cycle-loss"));
         let n = self.global_live.len();
@@ -647,10 +709,12 @@ impl ShardedSimulation {
         order.shuffle(&mut rng);
 
         let mut tallies = vec![ExchangeTally::default(); shard_count];
+        let mut exchanges_blocked = 0usize;
         let mut scratch = ExchangeScratch::new();
         let shards = &mut self.shards;
         let global_live = &self.global_live;
         let sampler = &mut self.sampler;
+        let injector = &self.injector;
         // Exchanges are executed in blocks: peers for the whole block are
         // drawn first (the same draw sequence as one-at-a-time), then every
         // endpoint node is *touched* with plain reads, then the block runs.
@@ -680,7 +744,18 @@ impl ShardedSimulation {
                     else {
                         continue;
                     };
-                    block.push((global_live[ipos as usize], peer_id));
+                    // Fault-lab veto, applied at the same point as the
+                    // threaded executor's schedule construction so both
+                    // executors number the surviving exchanges identically.
+                    // The failed contact is reported to the sampler so
+                    // cached views tail-drop unreachable neighbours.
+                    let initiator_id = global_live[ipos as usize];
+                    if injector.link_blocked(initiator_id, peer_id) {
+                        sampler.peer_failed(initiator_id, peer_id);
+                        exchanges_blocked += 1;
+                        continue;
+                    }
+                    block.push((initiator_id, peer_id));
                 }
                 let mut warm = 0u64;
                 for &(initiator_id, peer_id) in &block {
@@ -724,7 +799,7 @@ impl ShardedSimulation {
                     } else {
                         0
                     };
-                    let mut lost = exchange_loss(conditions, seed);
+                    let mut lost = exchange_loss(loss, seed);
                     ExchangeCore::exchange(
                         initiator,
                         peer,
@@ -736,21 +811,21 @@ impl ShardedSimulation {
                 start = end;
             }
         }
-        shards
+        let outs = shards
             .iter_mut()
             .zip(tallies)
             .map(|(shard, tally)| end_of_cycle_pass(shard, tally))
-            .collect()
+            .collect();
+        (outs, exchanges_blocked)
     }
 
     /// Multi-worker executor: the deterministic round/mailbox protocol from
     /// the module docs, with the shards partitioned into contiguous chunks
     /// over the worker threads.
-    fn run_cycle_threaded(&mut self) -> Vec<ShardCycleOut> {
-        let rounds = self.build_schedule();
+    fn run_cycle_threaded(&mut self, loss: f64) -> (Vec<ShardCycleOut>, usize) {
+        let (rounds, exchanges_blocked) = self.build_schedule();
         let shard_count = self.config.shards;
         let workers = self.effective_workers();
-        let conditions = self.config.base.conditions;
         let loss_seed_base = self.seeds.seed_for_labeled(self.cycle as u64, "cycle-loss");
 
         let mut outs: Vec<ShardCycleOut> =
@@ -793,7 +868,7 @@ impl ShardedSimulation {
                         sched,
                         rounds,
                         shard_count,
-                        conditions,
+                        loss,
                         loss_seed_base,
                         barrier,
                         push_txs,
@@ -802,13 +877,15 @@ impl ShardedSimulation {
                 });
             }
         });
-        outs
+        (outs, exchanges_blocked)
     }
 
-    /// Derives the cycle's exchange schedule and its round structure. All
-    /// RNG draws here run over global directory positions — shard-count
-    /// agnostic by construction.
-    fn build_schedule(&mut self) -> usize {
+    /// Derives the cycle's exchange schedule and its round structure,
+    /// returning `(rounds, exchanges_blocked)`. All RNG draws here run over
+    /// global directory positions — shard-count agnostic by construction —
+    /// and the fault lab's link vetoes are applied right after each peer
+    /// pick, so workers only ever see surviving exchanges.
+    fn build_schedule(&mut self) -> (usize, usize) {
         let n = self.global_live.len();
         let shard_count = self.config.shards;
         let cycle = self.cycle;
@@ -818,6 +895,7 @@ impl ShardedSimulation {
             sampler,
             global_live,
             shards,
+            injector,
             ..
         } = self;
         let mut rng = seeds.rng_for_labeled(cycle as u64, "cycle-schedule");
@@ -830,6 +908,7 @@ impl ShardedSimulation {
         sched.next_round.resize(n, 0);
 
         let mut rounds = 0u32;
+        let mut exchanges_blocked = 0usize;
         if n >= 2 {
             sched.exchanges.reserve(n);
             for i in 0..n {
@@ -843,6 +922,11 @@ impl ShardedSimulation {
                 else {
                     continue;
                 };
+                if injector.link_blocked(global_live[ipos as usize], peer_id) {
+                    sampler.peer_failed(global_live[ipos as usize], peer_id);
+                    exchanges_blocked += 1;
+                    continue;
+                }
                 let ppos = global_pos_of(shards, peer_id);
                 let round = sched.next_round[ipos as usize].max(sched.next_round[ppos as usize]);
                 sched.next_round[ipos as usize] = round + 1;
@@ -876,7 +960,7 @@ impl ShardedSimulation {
             sched.bucket_items[cursors[b] as usize] = i as u32;
             cursors[b] += 1;
         }
-        rounds as usize
+        (rounds as usize, exchanges_blocked)
     }
 
     /// Leader (re-)election for the counting instances, run over the global
@@ -929,6 +1013,7 @@ pub fn cycle_telemetry_table(
         "live_nodes",
         "exchanges",
         "messages_lost",
+        "exchanges_blocked",
         "estimate_mean",
         "estimate_variance",
         "completed_epoch",
@@ -941,6 +1026,7 @@ pub fn cycle_telemetry_table(
             summary.live_nodes.to_string(),
             summary.exchanges.to_string(),
             summary.messages_lost.to_string(),
+            summary.exchanges_blocked.to_string(),
             format!("{:.9e}", summary.estimate_mean),
             format!("{:.9e}", summary.estimate_variance),
             summary
@@ -1030,7 +1116,9 @@ struct ShardWorker<'a> {
     sched: &'a ScheduleBuffers,
     rounds: usize,
     shard_count: usize,
-    conditions: NetworkConditions,
+    /// The cycle's effective message-loss probability (coordinator-computed
+    /// by the fault injector; constant within a cycle).
+    loss: f64,
     loss_seed_base: u64,
     barrier: &'a Barrier,
     push_txs: Vec<crossbeam::channel::Sender<Vec<CrossPush>>>,
@@ -1046,13 +1134,13 @@ fn run_shard_worker(ctx: ShardWorker<'_>) {
         sched,
         rounds,
         shard_count,
-        conditions,
+        loss,
         loss_seed_base,
         barrier,
         push_txs,
         reply_txs,
     } = ctx;
-    let lossy = conditions.message_loss > 0.0;
+    let lossy = loss > 0.0;
     let loss_seeds = SeedSequence::new(loss_seed_base);
     let seed_of = |seq: u32| {
         if lossy {
@@ -1091,7 +1179,7 @@ fn run_shard_worker(ctx: ShardWorker<'_>) {
                     else {
                         continue;
                     };
-                    let mut lost = exchange_loss(conditions, seed_of(ei));
+                    let mut lost = exchange_loss(loss, seed_of(ei));
                     ExchangeCore::exchange(initiator, peer, &mut scratch, &mut lost, tally);
                 } else {
                     let Some(initiator) = shard.arena.node_at_slot_mut(initiator_slot) else {
@@ -1141,7 +1229,7 @@ fn run_shard_worker(ctx: ShardWorker<'_>) {
                 msg_buf.push(cross.first);
                 msg_buf.extend_from_slice(&cross.rest);
                 reply_buf.clear();
-                let mut lost = exchange_loss(conditions, seed_of(cross.seq));
+                let mut lost = exchange_loss(loss, seed_of(cross.seq));
                 ExchangeCore::respond(peer, &msg_buf, &mut reply_buf, &mut lost, tally);
                 if !reply_buf.is_empty() {
                     let initiator_shard = IdLayout::shard_of(cross.initiator) as usize;
@@ -1195,6 +1283,7 @@ fn run_shard_worker(ctx: ShardWorker<'_>) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::NetworkConditions;
     use aggregate_core::config::LateJoinPolicy;
     use aggregate_core::size_estimation::LeaderPolicy;
     use aggregate_core::ProtocolConfig;
@@ -1430,6 +1519,78 @@ mod tests {
         assert!(sim.node(victim).is_none());
         assert!(sim.node(newcomer).is_some());
         assert_eq!(sim.live_count(), 10);
+    }
+
+    #[test]
+    fn empty_fault_plan_is_identical_to_the_plain_constructor() {
+        let values: Vec<f64> = (0..200).map(|i| (i % 13) as f64).collect();
+        let config = averaging(3, 10);
+        let mut plain = ShardedSimulation::new(config, &values, 7).unwrap();
+        let mut faulted =
+            ShardedSimulation::with_faults(config, &values, 7, FaultPlan::none()).unwrap();
+        assert_eq!(plain.run(12), faulted.run(12));
+    }
+
+    #[test]
+    fn fault_plans_are_worker_count_invariant() {
+        // Link vetoes happen at schedule construction (coordinator), loss is
+        // a per-cycle scalar: the sequential and threaded executors must
+        // produce bit-identical summaries under a non-trivial plan.
+        let values: Vec<f64> = (0..300).map(|i| i as f64).collect();
+        let plan = FaultPlan {
+            link_failure: 0.2,
+            base_loss: 0.05,
+            ..FaultPlan::with_partition(3, 8, 0.3)
+        };
+        let run = |workers: Option<usize>| {
+            let config = ShardedConfig {
+                workers,
+                ..averaging(4, 50)
+            };
+            let mut sim =
+                ShardedSimulation::with_faults(config, &values, 41, plan.clone()).unwrap();
+            let summaries = sim.run(12);
+            let bits: Vec<u64> = sim.estimates().iter().map(|v| v.to_bits()).collect();
+            (summaries, bits)
+        };
+        let (reference, reference_bits) = run(Some(1));
+        assert!(reference.iter().any(|s| s.exchanges_blocked > 0));
+        for workers in [2, 4] {
+            let (summaries, bits) = run(Some(workers));
+            assert_eq!(summaries, reference, "{workers}-worker faulted run differs");
+            assert_eq!(bits, reference_bits);
+        }
+    }
+
+    #[test]
+    fn dead_links_block_exchanges_and_the_sharded_engine_still_converges() {
+        let values: Vec<f64> = (0..400).map(|i| i as f64).collect();
+        let true_mean = aggregate_core::avg::mean(&values);
+        let plan = FaultPlan::with_link_failure(0.2);
+        let mut sim = ShardedSimulation::with_faults(averaging(4, 100), &values, 11, plan).unwrap();
+        let summaries = sim.run(25);
+        let blocked: usize = summaries.iter().map(|s| s.exchanges_blocked).sum();
+        let attempted: usize = summaries.iter().map(|s| s.exchanges).sum::<usize>() + blocked;
+        let blocked_rate = blocked as f64 / attempted as f64;
+        assert!(
+            (blocked_rate - 0.2).abs() < 0.03,
+            "blocked rate {blocked_rate} should track the dead-link probability"
+        );
+        let last = summaries.last().unwrap();
+        assert!(last.estimate_variance < 1e-3, "{}", last.estimate_variance);
+        assert!((last.estimate_mean - true_mean).abs() < 1e-6);
+    }
+
+    #[test]
+    fn crash_bursts_fire_inside_the_cycle_and_shrink_the_population() {
+        let values = vec![0.0; 300];
+        let plan = FaultPlan::with_crash_burst(4, 0.3);
+        let mut sim = ShardedSimulation::with_faults(averaging(2, 10), &values, 19, plan).unwrap();
+        let summaries = sim.run(6);
+        assert_eq!(summaries[3].live_nodes, 300, "burst must not fire early");
+        assert_eq!(summaries[4].live_nodes, 300 - 90, "30% burst at cycle 4");
+        assert_eq!(summaries[5].live_nodes, 210);
+        assert_eq!(sim.live_count(), 210);
     }
 
     #[test]

@@ -14,6 +14,9 @@
 //! * [`membership`] (`peer-sampling`) — newscast-style peer sampling;
 //! * [`sim`] (`gossip-sim`) — cycle-driven and event-driven simulators,
 //!   churn models and experiment runners;
+//! * [`faults`] (`gossip-faults`) — the fault-injection lab: deterministic
+//!   fault schedules (link failures, partitions, crash bursts, loss ramps,
+//!   adversarial value injection) every engine executes;
 //! * [`net`] (`gossip-net`) — transports, wire codec and the threaded
 //!   deployment runtime;
 //! * [`analysis`] (`gossip-analysis`) — statistics and report generation.
@@ -44,6 +47,7 @@
 
 pub use aggregate_core as core;
 pub use gossip_analysis as analysis;
+pub use gossip_faults as faults;
 pub use gossip_net as net;
 pub use gossip_sim as sim;
 pub use overlay_topology as topology;
@@ -63,13 +67,18 @@ pub mod prelude {
     pub use aggregate_core::size_estimation::LeaderPolicy;
     pub use aggregate_core::{theory, AggregationError, GossipMessage, ProtocolConfig};
     pub use gossip_analysis::{Summary, Table};
+    pub use gossip_faults::{
+        CrashBurst, FaultInjector, FaultPlan, LossRamp, PartitionWindow, PlanInjector,
+        ValueInjection,
+    };
     pub use gossip_net::{ClusterConfig, GossipCluster};
     pub use gossip_sim::runner::{
         ChurnReport, ChurnRunner, SizeEstimationScenario, VarianceExperiment,
     };
     pub use gossip_sim::{
-        ChurnSchedule, GossipSimulation, NetworkConditions, ShardedConfig, ShardedSimulation,
-        SimConfigError, SimError, SimulationConfig, ValueDistribution,
+        AsyncConfig, AsyncSimulation, ChurnSchedule, GossipSimulation, NetworkConditions,
+        RobustnessPoint, RobustnessSweep, ShardedConfig, ShardedSimulation, SimConfigError,
+        SimError, SimulationConfig, ValueDistribution, WakeupDistribution,
     };
     pub use overlay_topology::{
         generators, CompleteTopology, Graph, NodeId, Topology, TopologyBuilder, TopologyKind,
@@ -87,6 +96,7 @@ mod tests {
         let _ = SelectorKind::Sequential;
         let _ = TopologyKind::Complete;
         let _ = NetworkConditions::reliable();
+        assert!(FaultPlan::none().is_empty());
         assert!((theory::PM_RATE - 0.25).abs() < 1e-12);
     }
 }

@@ -359,6 +359,114 @@ fn uniform_sampler_is_bit_identical_to_the_pre_sampler_engines() {
     );
 }
 
+/// Fault-lab refactor pin: the engines now route *every* run through a
+/// `FaultInjector`, with the empty [`FaultPlan`] as the default. That
+/// refactor must be invisible: an explicit empty plan reproduces the same
+/// golden pre-refactor trajectories as
+/// [`uniform_sampler_is_bit_identical_to_the_pre_sampler_engines`], on both
+/// cycle engines, churn and message loss included.
+#[test]
+fn empty_fault_plan_reproduces_the_pre_fault_lab_goldens() {
+    // Reference engine, seed 77 (same harness as simulation_summaries).
+    let values: Vec<f64> = (0..400).map(|i| (i % 53) as f64).collect();
+    let protocol = ProtocolConfig::builder()
+        .cycles_per_epoch(10)
+        .build()
+        .unwrap();
+    let mut sim = GossipSimulation::with_faults(
+        SimulationConfig::averaging(protocol),
+        &values,
+        77,
+        FaultPlan::none(),
+    )
+    .unwrap();
+    let last = sim.run(25).pop().unwrap();
+    assert_eq!(last.estimate_mean.to_bits(), 0x4039_2147_ae14_7adf);
+    assert_eq!(last.estimate_variance.to_bits(), 0x3fe0_b58d_981d_4c54);
+    assert_eq!(last.exchanges_blocked, 0);
+
+    // Sharded engine with churn + loss, seed 2024 / 3 shards (same harness
+    // as sharded_summaries): the golden FNV over all node estimates.
+    let values: Vec<f64> = (0..300).map(|i| (i % 37) as f64).collect();
+    let protocol = ProtocolConfig::builder()
+        .cycles_per_epoch(8)
+        .build()
+        .unwrap();
+    let config = ShardedConfig {
+        base: SimulationConfig {
+            protocol,
+            conditions: NetworkConditions::with_message_loss(0.1),
+            leader_policy: None,
+            sampler: SamplerConfig::UniformComplete,
+        },
+        shards: 3,
+        workers: None,
+    };
+    let mut sim = ShardedSimulation::with_faults(config, &values, 2024, FaultPlan::none()).unwrap();
+    for cycle in 0..30 {
+        for i in 0..5 {
+            sim.add_node((cycle * 5 + i) as f64);
+        }
+        sim.remove_random_nodes(5);
+        sim.run_cycle();
+    }
+    let mut fnv: u64 = 0xcbf2_9ce4_8422_2325;
+    for v in sim.estimates() {
+        fnv ^= v.to_bits();
+        fnv = fnv.wrapping_mul(0x1000_0000_01b3);
+    }
+    assert_eq!(
+        fnv, 0x64bd_b10a_57df_4315,
+        "empty-plan sharded run drifted from the pre-fault-lab trajectory"
+    );
+}
+
+/// Faulted runs are just as reproducible as fault-free ones: one seed, one
+/// trajectory — across repeats and regardless of the executor.
+#[test]
+fn faulted_runs_are_bit_identical_for_identical_seeds() {
+    let plan = || FaultPlan {
+        link_failure: 0.15,
+        base_loss: 0.05,
+        ..FaultPlan::with_partition(5, 12, 0.4)
+    };
+    let run = |seed: u64| {
+        let values: Vec<f64> = (0..250).map(|i| (i % 29) as f64).collect();
+        let protocol = ProtocolConfig::builder()
+            .cycles_per_epoch(9)
+            .build()
+            .unwrap();
+        let mut sim = GossipSimulation::with_faults(
+            SimulationConfig::averaging(protocol),
+            &values,
+            seed,
+            plan(),
+        )
+        .unwrap();
+        sim.run(20)
+    };
+    let a = run(505);
+    let b = run(505);
+    assert!(a.iter().any(|s| s.exchanges_blocked > 0));
+    assert!(a.iter().any(|s| s.messages_lost > 0));
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.exchanges, y.exchanges);
+        assert_eq!(x.exchanges_blocked, y.exchanges_blocked);
+        assert_eq!(x.messages_lost, y.messages_lost);
+        assert_eq!(
+            x.estimate_variance.to_bits(),
+            y.estimate_variance.to_bits(),
+            "cycle {}: faulted variances differ at the bit level",
+            x.cycle
+        );
+    }
+    assert_ne!(
+        run(505).last().unwrap().estimate_variance.to_bits(),
+        run(506).last().unwrap().estimate_variance.to_bits(),
+        "different seeds must draw different fault maps"
+    );
+}
+
 /// Live NEWSCAST sampler on the reference engine, under churn and slot
 /// reuse: same seed → bit-identical trajectories; different seeds diverge.
 fn newscast_churn_summaries(seed: u64) -> Vec<gossip_sim::CycleSummary> {
