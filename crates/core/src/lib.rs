@@ -25,6 +25,7 @@
 //! | [`aggregate`] | the `AGGREGATE` functions: average, min/max, moments, booleans |
 //! | [`selectors`] | the `GETPAIR` strategies: PM, RAND, SEQ, PMRAND |
 //! | [`sampler`] | pluggable peer sampling: uniform-complete, static overlays, live NEWSCAST |
+//! | [`effects`] | injected runtime effects: clocks and labelled entropy streams |
 //! | [`avg`] | the whole-network `AVG` algorithm (Figure 2) and its per-cycle reports |
 //! | [`theory`] | closed-form convergence rates (Section 3) |
 //! | [`protocol`] | node-level push–pull state machine and wire messages (Figure 1) |
@@ -75,6 +76,7 @@ pub mod aggregate;
 pub mod avg;
 pub mod config;
 pub mod derived;
+pub mod effects;
 pub mod epoch;
 mod error;
 pub mod exchange;
@@ -87,6 +89,7 @@ pub mod theory;
 
 pub use aggregate::{Aggregate, AggregateKind};
 pub use config::{LateJoinPolicy, ProtocolConfig};
+pub use effects::{Clock, EntropySource, SeedSequence, SystemClock, VirtualClock};
 pub use error::AggregationError;
 pub use exchange::{ExchangeCore, ExchangeScratch, ExchangeTally};
 pub use node::{EpochResult, ProtocolNode};

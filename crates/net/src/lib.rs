@@ -1,22 +1,35 @@
 //! # gossip-net
 //!
 //! Deployment runtime for anti-entropy aggregation: pluggable transports, a
-//! compact wire codec and a threaded per-node runtime.
+//! compact wire codec and **one protocol core behind two runtimes**.
 //!
 //! The protocol logic lives entirely in `aggregate-core`
-//! ([`aggregate_core::node::ProtocolNode`] is transport-agnostic); this crate
-//! supplies the missing pieces for running it outside a simulator:
+//! ([`aggregate_core::ExchangeCore`] is the only place exchange state
+//! transitions happen); this crate supplies the pieces for running it
+//! outside a simulator:
 //!
 //! * [`codec`] — a small explicit binary encoding of [`aggregate_core::GossipMessage`]
 //!   (33 bytes per message, no allocation on decode);
 //! * [`Transport`] — the interface a message carrier must implement, with two
-//!   implementations: [`InMemoryNetwork`] (crossbeam channels, for tests and
-//!   single-process demos) and [`UdpTransport`] (UDP sockets, for LAN/localhost
-//!   deployments);
+//!   implementations: [`InMemoryNetwork`] (crossbeam channels carrying
+//!   encoded wire frames, for tests and single-process demos) and
+//!   [`UdpTransport`] (UDP sockets, for LAN/localhost deployments);
+//! * [`NodeCore`] — the per-node protocol step both runtimes share: every
+//!   message goes through [`aggregate_core::ExchangeCore`], and overlapping
+//!   exchanges are rejected so the live message path conserves the
+//!   network-wide sum;
 //! * [`GossipRuntime`] — one OS thread per node driving the active cycle of
-//!   Figure 1 (wait Δt → pick random peer → push–pull exchange) while serving
-//!   incoming exchanges, with a shared handle for reading the current
-//!   estimates.
+//!   Figure 1 (wait Δt → sample a peer → push–pull exchange) while serving
+//!   incoming exchanges. Its environment is fully injected through
+//!   [`NodeEnv`]: a [`aggregate_core::effects::Clock`], a seeded RNG, a
+//!   [`aggregate_core::sampler::PeerSampler`], a
+//!   [`gossip_faults::FaultInjector`] and the transport;
+//! * [`VirtualCluster`] — the same node type and transport under a
+//!   [`aggregate_core::effects::VirtualClock`] and labelled
+//!   [`aggregate_core::effects::SeedSequence`] streams, stepped in lockstep:
+//!   a seeded run is deterministic and **bit-identical** to
+//!   [`gossip_sim::GossipSimulation`] for the same seed, membership and
+//!   topology (pinned by `tests/determinism.rs`).
 //!
 //! The calibration notes for this reproduction suggested `tokio` for the async
 //! runtime; the offline dependency set for this workspace does not include it,
@@ -30,11 +43,11 @@
 //!
 //! // Five nodes holding 1..=5 gossip in-process for 30 cycles of 5 ms.
 //! let config = ClusterConfig { cycle_length_ms: 5, cycles: 30 };
-//! let estimates = GossipCluster::run_in_memory(&[1.0, 2.0, 3.0, 4.0, 5.0], config).unwrap();
-//! // Every node's estimate has converged close to the true average 3.0
-//! // (overlapping live exchanges leave a small residual error; the simulator
-//! // in `gossip-sim` reproduces the exact, mass-conserving behaviour).
-//! assert!(estimates.iter().all(|e| (e - 3.0).abs() < 1.0));
+//! let report = GossipCluster::run_in_memory(&[1.0, 2.0, 3.0, 4.0, 5.0], config).unwrap();
+//! // Every node's estimate has converged close to the true average 3.0.
+//! assert!(report.estimates.iter().all(|e| (e - 3.0).abs() < 1.0));
+//! // The runtime counts exchange outcomes instead of swallowing them.
+//! assert!(report.stats.exchanges_completed > 0);
 //! ```
 
 #![forbid(unsafe_code)]
@@ -43,13 +56,20 @@
 
 pub mod codec;
 mod error;
+mod lockstep;
 mod memory;
+mod node_core;
 mod runtime;
 mod transport;
 mod udp;
 
 pub use error::NetError;
+pub use lockstep::VirtualCluster;
 pub use memory::InMemoryNetwork;
-pub use runtime::{ClusterConfig, GossipCluster, GossipRuntime, NodeHandle};
+pub use node_core::{Delivery, NodeCore};
+pub use runtime::{
+    ClusterConfig, ClusterReport, GossipCluster, GossipRuntime, NodeEnv, NodeHandle, RuntimeStats,
+    FAULT_SCHEDULE_STREAM,
+};
 pub use transport::Transport;
 pub use udp::UdpTransport;

@@ -1,0 +1,540 @@
+//! The deterministic in-memory runtime: [`VirtualCluster`] steps a whole
+//! gossip network through the *wire* message path under virtual time.
+//!
+//! This is the second binding of the "one core, two runtimes" design. The
+//! node stepping is the same [`NodeCore`] the threaded [`crate::GossipRuntime`]
+//! drives, every message crosses an [`InMemoryNetwork`] endpoint (and is
+//! therefore encoded and decoded through the 33-byte wire codec), time is a
+//! [`VirtualClock`] advanced one Δt per cycle, and all randomness comes from
+//! the labelled [`SeedSequence`] streams of one master seed.
+//!
+//! The cluster executes cycles in *lockstep*, mirroring
+//! [`gossip_sim::GossipSimulation`] draw for draw: same schedule shuffle,
+//! same sampler streams, same fault-injection streams, same loss-coin order
+//! inside each exchange. A seeded run is therefore not merely deterministic
+//! — it is **bit-identical** to the cycle engine for the same seed,
+//! membership and topology, which `tests/determinism.rs` pins. That identity
+//! is the strongest statement this repository can make that the deployed
+//! message path and the simulated one realise the same protocol.
+
+use crate::node_core::{Delivery, NodeCore};
+use crate::{InMemoryNetwork, Transport};
+use aggregate_core::effects::{Clock, SeedSequence, VirtualClock};
+use aggregate_core::node::ProtocolNode;
+use aggregate_core::sampler::{sample_live_peer, PeerSampler, SamplerConfig, SamplerDirectory};
+use aggregate_core::{size_estimation, ExchangeTally, GossipMessage, InstanceTag};
+use gossip_analysis::OnlineStats;
+use gossip_faults::{FaultInjector, FaultPlan, PlanInjector};
+use gossip_sim::sampling::FAULTS_STREAM;
+use gossip_sim::{instantiate_sampler, CycleSummary, SimConfigError, SimulationConfig};
+use overlay_topology::NodeId;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use std::time::Duration;
+
+/// Sentinel for "slot is not live" in the slot → live-position map (the same
+/// convention as the engine arena's internal map).
+const NOT_LIVE: u32 = u32::MAX;
+
+/// The live directory the peer sampler draws from: positions enumerate the
+/// dense live array, liveness is an O(1) map lookup. Mirrors the engine's
+/// `ArenaDirectory` exactly (same ordering, same answers); the generation
+/// check is unnecessary here because a [`VirtualCluster`] never rejoins a
+/// vacated slot, so every identifier in circulation is generation 0.
+#[derive(Debug, Clone, Copy)]
+struct LiveDirectory<'a> {
+    live: &'a [u32],
+    live_pos: &'a [u32],
+}
+
+impl SamplerDirectory for LiveDirectory<'_> {
+    fn len(&self) -> usize {
+        self.live.len()
+    }
+
+    fn id_at(&self, pos: usize) -> NodeId {
+        NodeId::from_u32(self.live[pos])
+    }
+
+    fn is_live(&self, id: NodeId) -> bool {
+        let slot = id.as_u32() as usize;
+        slot < self.live_pos.len() && self.live_pos[slot] != NOT_LIVE
+    }
+}
+
+/// A whole gossip network run deterministically inside one thread: real
+/// [`NodeCore`] state machines, real wire frames over [`InMemoryNetwork`]
+/// endpoints, virtual time — stepped one cycle at a time in lockstep with
+/// the reference engine's schedule.
+///
+/// Takes the *same* [`SimulationConfig`] (and optionally the same
+/// [`FaultPlan`]) as [`gossip_sim::GossipSimulation`] and produces the same
+/// [`CycleSummary`] values, bit for bit. No joins are supported (the live
+/// runtime has a static bootstrap membership); crash bursts from the fault
+/// plan remove nodes exactly as the engine's churn path does.
+///
+/// # Example
+///
+/// ```
+/// use gossip_net::VirtualCluster;
+/// use gossip_sim::{GossipSimulation, SimulationConfig};
+/// use aggregate_core::ProtocolConfig;
+///
+/// let config = SimulationConfig::averaging(ProtocolConfig::default());
+/// let values: Vec<f64> = (0..50).map(|i| i as f64).collect();
+/// let mut wire = VirtualCluster::new(config, &values, 7).unwrap();
+/// let mut engine = GossipSimulation::new(config, &values, 7);
+/// // The wire runtime and the cycle engine take identical trajectories.
+/// assert_eq!(wire.run(5), engine.run(5));
+/// ```
+#[derive(Debug)]
+pub struct VirtualCluster {
+    config: SimulationConfig,
+    /// Slot-indexed node state; `None` marks a crashed node's vacated slot.
+    nodes: Vec<Option<NodeCore>>,
+    /// Wire endpoints, slot-indexed and immortal (a crashed node simply
+    /// stops being scheduled; frames addressed to it are never sent because
+    /// the sampler only returns live peers).
+    endpoints: Vec<InMemoryNetwork>,
+    /// Dense array of live slot indices, in engine live order.
+    live: Vec<u32>,
+    /// Slot → position in `live`, [`NOT_LIVE`] for vacated slots.
+    live_pos: Vec<u32>,
+    cycle: usize,
+    clock: VirtualClock,
+    rng: StdRng,
+    sampler: Box<dyn PeerSampler + Send>,
+    injector: Box<dyn FaultInjector + Send>,
+    last_size_estimate: Option<f64>,
+    scratch_pushes: Vec<GossipMessage>,
+}
+
+impl VirtualCluster {
+    /// Creates a deterministic in-memory cluster with one node per initial
+    /// value, all present from epoch 0, fault-free.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`gossip_sim::GossipSimulation::try_new`] rejects: an empty
+    /// population, non-finite initial values, invalid failure conditions,
+    /// unrealisable sampler configurations.
+    pub fn new(
+        config: SimulationConfig,
+        initial_values: &[f64],
+        master_seed: u64,
+    ) -> Result<Self, SimConfigError> {
+        VirtualCluster::with_faults(config, initial_values, master_seed, FaultPlan::none())
+    }
+
+    /// Creates the cluster executing the given [`FaultPlan`] (with the
+    /// configuration's conditions absorbed underneath), exactly as
+    /// [`gossip_sim::GossipSimulation::with_faults`] does.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`VirtualCluster::new`] rejects, plus
+    /// [`SimConfigError::Faults`] for a malformed schedule.
+    pub fn with_faults(
+        config: SimulationConfig,
+        initial_values: &[f64],
+        master_seed: u64,
+        plan: FaultPlan,
+    ) -> Result<Self, SimConfigError> {
+        config.validate(initial_values)?;
+        let plan = plan.absorb_conditions(config.conditions);
+        plan.validate()?;
+        let n = initial_values.len();
+        let nodes: Vec<Option<NodeCore>> = initial_values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| {
+                Some(NodeCore::new(ProtocolNode::new(
+                    NodeId::new(i),
+                    config.protocol,
+                    v,
+                )))
+            })
+            .collect();
+        let initial_ids: Vec<NodeId> = (0..n).map(NodeId::new).collect();
+        let seeds = SeedSequence::new(master_seed);
+        let sampler = instantiate_sampler(config.sampler, &initial_ids, &seeds)?;
+        let injector = Box::new(PlanInjector::new(
+            plan,
+            seeds.seed_for_labeled(0, FAULTS_STREAM),
+        ));
+        let mut cluster = VirtualCluster {
+            config,
+            nodes,
+            endpoints: InMemoryNetwork::create(n),
+            live: (0..n as u32).collect(),
+            live_pos: (0..n as u32).collect(),
+            cycle: 0,
+            clock: VirtualClock::new(),
+            rng: seeds.rng_for_run(0),
+            sampler,
+            injector,
+            last_size_estimate: None,
+            scratch_pushes: Vec::new(),
+        };
+        cluster.elect_leaders();
+        Ok(cluster)
+    }
+
+    /// The peer-sampling configuration partners are drawn from.
+    pub fn sampler_config(&self) -> SamplerConfig {
+        self.sampler.config()
+    }
+
+    /// Number of live nodes.
+    pub fn live_count(&self) -> usize {
+        self.live.len()
+    }
+
+    /// The current cycle index.
+    pub fn cycle(&self) -> usize {
+        self.cycle
+    }
+
+    /// The cluster's virtual time in milliseconds (one Δt per cycle run).
+    pub fn now_ms(&self) -> u64 {
+        self.clock.now_ms()
+    }
+
+    /// The most recent pooled network-size estimate, if any epoch completed.
+    pub fn last_size_estimate(&self) -> Option<f64> {
+        self.last_size_estimate
+    }
+
+    /// Current default-instance estimates of all live nodes, in live order.
+    pub fn estimates(&self) -> Vec<f64> {
+        self.live
+            .iter()
+            .filter_map(|&slot| self.nodes[slot as usize].as_ref())
+            .filter_map(|core| core.estimate())
+            .collect()
+    }
+
+    /// Runs one full protocol cycle over the wire path and returns the same
+    /// summary the reference engine produces for this cycle.
+    pub fn run_cycle(&mut self) -> CycleSummary {
+        let mut tally = ExchangeTally::default();
+        let mut exchanges_blocked = 0usize;
+
+        // Fault lab first, exactly as the engine orders it: enter the cycle,
+        // fire scheduled crash bursts through the churn path, apply
+        // adversarial corruptions, then cache the loss rate.
+        self.injector.begin_cycle(self.cycle);
+        let crash_victims = self.injector.crash_count(self.live.len());
+        if crash_victims > 0 {
+            self.remove_random_nodes(crash_victims);
+        }
+        for (pos, value) in self.injector.corruptions(self.live.len()) {
+            let slot = self.live[pos] as usize;
+            if let Some(core) = self.nodes[slot].as_mut() {
+                core.corrupt_estimate(value);
+            }
+        }
+        let loss = self.injector.loss_probability();
+
+        // Overlay maintenance in lockstep with the aggregation cycle.
+        self.sampler.begin_cycle(&LiveDirectory {
+            live: &self.live,
+            live_pos: &self.live_pos,
+        });
+
+        // Active phase: every live node initiates one exchange, in the same
+        // shuffled order the engine draws — but here each exchange travels
+        // as encoded wire frames through the in-memory transport and is
+        // stepped through `NodeCore` message delivery.
+        let mut order = self.live.clone();
+        order.shuffle(&mut self.rng);
+        for initiator_slot in order {
+            let slot = initiator_slot as usize;
+            if self.nodes[slot].is_none() {
+                continue;
+            }
+            let peer_id = {
+                let directory = LiveDirectory {
+                    live: &self.live,
+                    live_pos: &self.live_pos,
+                };
+                let initiator_pos = self.live_pos[slot] as usize;
+                sample_live_peer(
+                    self.sampler.as_mut(),
+                    &directory,
+                    initiator_pos,
+                    &mut self.rng,
+                )
+            };
+            let Some(peer_id) = peer_id else {
+                continue;
+            };
+            let initiator_id = NodeId::from_u32(initiator_slot);
+            if self.injector.link_blocked(initiator_id, peer_id) {
+                self.sampler.peer_failed(initiator_id, peer_id);
+                exchanges_blocked += 1;
+                continue;
+            }
+            let peer_slot = peer_id.as_u32() as usize;
+            let mut pushes = std::mem::take(&mut self.scratch_pushes);
+            let started = self.nodes[slot]
+                .as_mut()
+                .expect("checked above")
+                .begin(peer_id, &mut pushes);
+            if !started {
+                self.scratch_pushes = pushes;
+                continue;
+            }
+            tally.exchanges += 1;
+            // Ship each push over the wire, delivering at the peer as it
+            // lands; the loss coins are drawn in the exact order the
+            // engine's `ExchangeCore::respond` draws them — push, then (if a
+            // reply was produced) reply, for each push in turn.
+            for push in &pushes {
+                if loss > 0.0 && self.rng.gen_bool(loss) {
+                    tally.messages_lost += 1;
+                    continue;
+                }
+                self.endpoints[slot]
+                    .send(push)
+                    .expect("sampled peer has an endpoint");
+                let message = self.endpoints[peer_slot]
+                    .recv_timeout(Duration::ZERO)
+                    .expect("in-memory frames always decode")
+                    .expect("frame was just enqueued");
+                // When no reply is owed (stale-epoch push, epoch jump) there
+                // is nothing to ship back; a peer can never be mid-exchange
+                // here — the lockstep schedule completes each exchange
+                // before the next begins.
+                if let Delivery::Reply(reply) = self.nodes[peer_slot]
+                    .as_mut()
+                    .expect("sampled peer is live")
+                    .deliver(message)
+                {
+                    if loss > 0.0 && self.rng.gen_bool(loss) {
+                        tally.messages_lost += 1;
+                    } else {
+                        self.endpoints[peer_slot]
+                            .send(&reply)
+                            .expect("initiator has an endpoint");
+                    }
+                }
+            }
+            // Absorb whatever replies made it back, then settle the
+            // exchange.
+            while let Ok(Some(reply)) = self.endpoints[slot].recv_timeout(Duration::ZERO) {
+                self.nodes[slot]
+                    .as_mut()
+                    .expect("checked above")
+                    .deliver(reply);
+            }
+            self.nodes[slot]
+                .as_mut()
+                .expect("checked above")
+                .close_pending();
+            self.scratch_pushes = pushes;
+        }
+        let ExchangeTally {
+            exchanges,
+            messages_lost,
+        } = tally;
+
+        // End-of-cycle phase: epoch book-keeping on every live node, in live
+        // order, exactly as the engine does.
+        let mut completed_epoch = None;
+        let mut epoch_estimates = Vec::new();
+        let mut epoch_size_estimates = Vec::new();
+        for pos in 0..self.live.len() {
+            let slot = self.live[pos] as usize;
+            let Some(core) = self.nodes[slot].as_mut() else {
+                continue;
+            };
+            if let Some(result) = core.end_cycle() {
+                completed_epoch = Some(result.epoch);
+                if result.full_participation {
+                    if let Some(estimate) = result.default_estimate() {
+                        epoch_estimates.push(estimate);
+                    }
+                    if let Some(size) = size_estimation::size_estimate_from_epoch(&result) {
+                        epoch_size_estimates.push(size);
+                    }
+                }
+            }
+        }
+
+        if !epoch_size_estimates.is_empty() {
+            let mean = epoch_size_estimates.iter().sum::<f64>() / epoch_size_estimates.len() as f64;
+            self.last_size_estimate = Some(mean);
+        }
+
+        if completed_epoch.is_some() {
+            self.elect_leaders();
+        }
+
+        let mut stats = OnlineStats::new();
+        for &slot in &self.live {
+            if let Some(estimate) = self.nodes[slot as usize]
+                .as_ref()
+                .and_then(|core| core.estimate())
+            {
+                stats.push(estimate);
+            }
+        }
+
+        let summary = CycleSummary {
+            cycle: self.cycle,
+            live_nodes: self.live.len(),
+            exchanges,
+            messages_lost,
+            exchanges_blocked,
+            estimate_variance: stats.sample_variance(),
+            estimate_mean: stats.mean(),
+            completed_epoch,
+            epoch_estimates,
+            epoch_size_estimates,
+        };
+        self.cycle += 1;
+        self.clock.advance(self.config.protocol.cycle_length_ms());
+        summary
+    }
+
+    /// Runs `cycles` consecutive cycles, returning all summaries.
+    pub fn run(&mut self, cycles: usize) -> Vec<CycleSummary> {
+        (0..cycles).map(|_| self.run_cycle()).collect()
+    }
+
+    /// Removes `count` uniformly random live nodes through the same draw
+    /// sequence and swap-remove bookkeeping as the engine arena's churn
+    /// path, so crash bursts leave both runtimes with identical live orders.
+    fn remove_random_nodes(&mut self, count: usize) {
+        for _ in 0..count {
+            if self.live.is_empty() {
+                break;
+            }
+            let position = self.rng.gen_range(0..self.live.len());
+            let slot = self.live[position];
+            let last = *self.live.last().expect("non-empty");
+            self.live.swap_remove(position);
+            if last != slot {
+                self.live_pos[last as usize] = position as u32;
+            }
+            self.live_pos[slot as usize] = NOT_LIVE;
+            self.nodes[slot as usize] = None;
+            self.sampler.on_depart(NodeId::from_u32(slot));
+        }
+    }
+
+    /// Re-runs the leader election for the counting instances, mirroring the
+    /// engine (same iteration order, same RNG stream, same deterministic
+    /// fallback leader).
+    fn elect_leaders(&mut self) {
+        let Some(policy) = self.config.leader_policy else {
+            return;
+        };
+        let previous = self.last_size_estimate;
+        let VirtualCluster {
+            nodes, live, rng, ..
+        } = self;
+        let mut any_leader = false;
+        for &slot in live.iter() {
+            if let Some(core) = nodes[slot as usize].as_mut() {
+                if size_estimation::elect_leader(core.node_mut(), policy, previous, rng) {
+                    any_leader = true;
+                }
+            }
+        }
+        if !any_leader {
+            if let Some(&slot) = live.first() {
+                if let Some(core) = nodes[slot as usize].as_mut() {
+                    let tag = InstanceTag::from_leader(core.id());
+                    core.node_mut().start_led_instance(tag, 1.0);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aggregate_core::ProtocolConfig;
+    use gossip_sim::GossipSimulation;
+
+    fn averaging(cycles_per_epoch: u32) -> SimulationConfig {
+        SimulationConfig::averaging(
+            ProtocolConfig::builder()
+                .cycles_per_epoch(cycles_per_epoch)
+                .build()
+                .unwrap(),
+        )
+    }
+
+    #[test]
+    fn wire_cluster_matches_the_engine_cycle_for_cycle() {
+        let values: Vec<f64> = (0..120).map(|i| (i % 19) as f64).collect();
+        let config = averaging(10);
+        let mut wire = VirtualCluster::new(config, &values, 33).unwrap();
+        let mut engine = GossipSimulation::new(config, &values, 33);
+        for _ in 0..25 {
+            assert_eq!(wire.run_cycle(), engine.run_cycle());
+        }
+        assert_eq!(wire.estimates(), engine.estimates());
+    }
+
+    #[test]
+    fn virtual_time_advances_one_cycle_length_per_cycle() {
+        let config = SimulationConfig::averaging(
+            ProtocolConfig::builder()
+                .cycles_per_epoch(10)
+                .cycle_length_ms(2_000)
+                .build()
+                .unwrap(),
+        );
+        let mut cluster = VirtualCluster::new(config, &[1.0, 2.0, 3.0], 1).unwrap();
+        assert_eq!(cluster.now_ms(), 0);
+        cluster.run(4);
+        assert_eq!(cluster.now_ms(), 8_000);
+        assert_eq!(cluster.cycle(), 4);
+    }
+
+    #[test]
+    fn rejects_what_the_engine_rejects() {
+        let config = averaging(10);
+        assert!(matches!(
+            VirtualCluster::new(config, &[], 1).err(),
+            Some(SimConfigError::ZeroNodes)
+        ));
+        assert!(matches!(
+            VirtualCluster::new(config, &[1.0, f64::NAN], 1).err(),
+            Some(SimConfigError::NonFiniteInitialValue { index: 1, .. })
+        ));
+        assert!(matches!(
+            VirtualCluster::with_faults(config, &[1.0], 1, FaultPlan::with_link_failure(2.0)).err(),
+            Some(SimConfigError::Faults { .. })
+        ));
+        let bad_sampler = SimulationConfig {
+            sampler: SamplerConfig::Newscast { cache_size: 0 },
+            ..config
+        };
+        assert!(matches!(
+            VirtualCluster::new(bad_sampler, &[1.0, 2.0], 1).err(),
+            Some(SimConfigError::Sampler { .. })
+        ));
+    }
+
+    #[test]
+    fn crash_bursts_mirror_the_engine_churn_path() {
+        let values: Vec<f64> = (0..80).map(|i| i as f64).collect();
+        let config = averaging(10);
+        let plan = FaultPlan::with_crash_burst(3, 0.25);
+        let mut wire = VirtualCluster::with_faults(config, &values, 9, plan.clone()).unwrap();
+        let mut engine = GossipSimulation::with_faults(config, &values, 9, plan).unwrap();
+        for _ in 0..8 {
+            assert_eq!(wire.run_cycle(), engine.run_cycle());
+        }
+        assert_eq!(wire.live_count(), 60);
+        assert_eq!(wire.live_count(), engine.live_count());
+        assert_eq!(wire.estimates(), engine.estimates());
+    }
+}

@@ -1,7 +1,8 @@
 //! In-process transport backed by crossbeam channels.
 
-use crate::{NetError, Transport};
+use crate::{codec, NetError, Transport};
 use aggregate_core::GossipMessage;
+use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use overlay_topology::NodeId;
 use std::collections::HashMap;
@@ -9,6 +10,12 @@ use std::time::Duration;
 
 /// A single-process "network": one channel pair per node, with every endpoint
 /// holding senders to all other endpoints.
+///
+/// The channels carry *encoded wire frames* ([`codec::encode`] on send,
+/// [`codec::decode`] on receive), not in-process message structs, so every
+/// message that crosses this transport exercises exactly the byte path the
+/// UDP transport ships — which is what lets the deterministic in-memory
+/// cluster pin the live wire format against the cycle engine bit-for-bit.
 ///
 /// Used by unit/integration tests, by the quickstart example and as the
 /// reference implementation against which the UDP transport is tested.
@@ -36,15 +43,14 @@ use std::time::Duration;
 #[derive(Debug)]
 pub struct InMemoryNetwork {
     id: NodeId,
-    inbox: Receiver<GossipMessage>,
-    outboxes: HashMap<u32, Sender<GossipMessage>>,
+    inbox: Receiver<Bytes>,
+    outboxes: HashMap<u32, Sender<Bytes>>,
 }
 
 impl InMemoryNetwork {
     /// Creates a fully connected in-memory network of `n` endpoints.
     pub fn create(n: usize) -> Vec<InMemoryNetwork> {
-        let channels: Vec<(Sender<GossipMessage>, Receiver<GossipMessage>)> =
-            (0..n).map(|_| unbounded()).collect();
+        let channels: Vec<(Sender<Bytes>, Receiver<Bytes>)> = (0..n).map(|_| unbounded()).collect();
         (0..n)
             .map(|i| {
                 let outboxes = channels
@@ -84,12 +90,14 @@ impl Transport for InMemoryNetwork {
             .outboxes
             .get(&to.as_u32())
             .ok_or(NetError::UnknownPeer { peer: to.as_u32() })?;
-        sender.send(*message).map_err(|_| NetError::Disconnected)
+        sender
+            .send(codec::encode(message))
+            .map_err(|_| NetError::Disconnected)
     }
 
     fn recv_timeout(&self, timeout: Duration) -> Result<Option<GossipMessage>, NetError> {
         match self.inbox.recv_timeout(timeout) {
-            Ok(message) => Ok(Some(message)),
+            Ok(frame) => codec::decode(&frame).map(Some),
             Err(crossbeam::channel::RecvTimeoutError::Timeout) => Ok(None),
             Err(crossbeam::channel::RecvTimeoutError::Disconnected) => Err(NetError::Disconnected),
         }
@@ -151,6 +159,28 @@ mod tests {
         // Self-sends are also unknown (no loopback channel).
         let err = endpoints[0].send(&push(0, 0, 1.0)).unwrap_err();
         assert!(matches!(err, NetError::UnknownPeer { peer: 0 }));
+    }
+
+    #[test]
+    fn messages_cross_the_wire_codec_bit_exactly() {
+        // The channels carry encoded frames; any f64 payload — including
+        // non-finite ones — must survive the encode/decode hop bit-for-bit.
+        let endpoints = InMemoryNetwork::create(2);
+        for value in [1.5, -0.0, f64::NAN, f64::INFINITY, f64::MIN_POSITIVE] {
+            endpoints[0].send(&push(0, 1, value)).unwrap();
+            let received = endpoints[1]
+                .recv_timeout(Duration::from_millis(50))
+                .unwrap()
+                .unwrap();
+            let GossipMessage::Push {
+                value: received_value,
+                ..
+            } = received
+            else {
+                panic!("expected a push");
+            };
+            assert_eq!(received_value.to_bits(), value.to_bits());
+        }
     }
 
     #[test]

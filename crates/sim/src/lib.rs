@@ -61,7 +61,6 @@ mod engine;
 mod error;
 mod event_engine;
 pub mod overlay;
-mod rng;
 pub mod robustness;
 pub mod runner;
 pub mod sampling;
@@ -80,7 +79,9 @@ pub use gossip_faults::{
     ConditionsError, FaultInjector, FaultPlan, NetworkConditions, PlanInjector,
 };
 pub use overlay::{OverlayExperiment, OverlayMeasurement};
-pub use rng::SeedSequence;
+// `SeedSequence` moved to `aggregate-core`'s effects module (it now seeds
+// the live runtime too); re-exported here so existing imports keep working.
+pub use aggregate_core::effects::SeedSequence;
 pub use robustness::{RobustnessPoint, RobustnessSweep};
 pub use sampling::instantiate_sampler;
 pub use sharded::{ShardedConfig, ShardedCycleSummary, ShardedSimulation};

@@ -24,15 +24,15 @@ use overlay_topology::NodeId;
 use peer_sampling::{NewscastSampler, StaticOverlaySampler};
 
 /// Label of the seed stream feeding a NEWSCAST sampler's internal RNG.
-pub(crate) const MEMBERSHIP_STREAM: &str = "sampler-membership";
+pub const MEMBERSHIP_STREAM: &str = "sampler-membership";
 
 /// Label of the seed stream feeding static-overlay generation.
-pub(crate) const TOPOLOGY_STREAM: &str = "sampler-topology";
+pub const TOPOLOGY_STREAM: &str = "sampler-topology";
 
 /// Label of the seed stream feeding the fault-injection lab (link/partition
 /// coins and adversarial victim picks). Isolated from every schedule stream,
 /// so the empty fault plan leaves engine trajectories bit-identical.
-pub(crate) const FAULTS_STREAM: &str = "fault-injection";
+pub const FAULTS_STREAM: &str = "fault-injection";
 
 /// Builds the [`PeerSampler`] described by `config` over the initial
 /// population `initial` (in directory order), deriving internal seeds from
@@ -46,7 +46,7 @@ pub fn instantiate_sampler(
     config: SamplerConfig,
     initial: &[NodeId],
     seeds: &SeedSequence,
-) -> Result<Box<dyn PeerSampler>, SimConfigError> {
+) -> Result<Box<dyn PeerSampler + Send>, SimConfigError> {
     match config {
         SamplerConfig::UniformComplete => Ok(Box::new(UniformSampler::new())),
         SamplerConfig::StaticOverlay { topology } => {

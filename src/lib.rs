@@ -17,8 +17,9 @@
 //! * [`faults`] (`gossip-faults`) — the fault-injection lab: deterministic
 //!   fault schedules (link failures, partitions, crash bursts, loss ramps,
 //!   adversarial value injection) every engine executes;
-//! * [`net`] (`gossip-net`) — transports, wire codec and the threaded
-//!   deployment runtime;
+//! * [`net`] (`gossip-net`) — transports, wire codec and two runtimes over
+//!   the shared protocol core: the threaded deployment runtime and the
+//!   deterministic lockstep cluster pinned against the simulator;
 //! * [`analysis`] (`gossip-analysis`) — statistics and report generation.
 //!
 //! See the workspace `README.md` for a guided tour and `DESIGN.md` for the
@@ -71,7 +72,10 @@ pub mod prelude {
         CrashBurst, FaultInjector, FaultPlan, LossRamp, PartitionWindow, PlanInjector,
         ValueInjection,
     };
-    pub use gossip_net::{ClusterConfig, GossipCluster};
+    pub use gossip_net::{
+        ClusterConfig, ClusterReport, GossipCluster, GossipRuntime, NodeEnv, RuntimeStats,
+        VirtualCluster,
+    };
     pub use gossip_sim::runner::{
         ChurnReport, ChurnRunner, SizeEstimationScenario, VarianceExperiment,
     };

@@ -134,7 +134,7 @@ fn aggregation_over_newscast_views_converges_like_random_overlay() {
 fn in_memory_cluster_reaches_consensus() {
     let values = [2.0, 4.0, 6.0, 8.0, 10.0, 12.0];
     let true_mean = mean(&values);
-    let estimates = GossipCluster::run_in_memory(
+    let report = GossipCluster::run_in_memory(
         &values,
         ClusterConfig {
             cycle_length_ms: 5,
@@ -142,14 +142,18 @@ fn in_memory_cluster_reaches_consensus() {
         },
     )
     .expect("cluster runs");
+    let estimates = &report.estimates;
     let spread = estimates.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
         - estimates.iter().cloned().fold(f64::INFINITY, f64::min);
     assert!(spread < 1.5, "nodes disagree by {spread}");
-    let cluster_mean = mean(&estimates);
+    let cluster_mean = mean(estimates);
     assert!(
         (cluster_mean - true_mean).abs() < 0.15 * true_mean,
         "cluster mean {cluster_mean} vs true {true_mean}"
     );
+    // The runtime surfaces exchange outcomes instead of swallowing them.
+    assert!(report.stats.exchanges_completed > 0);
+    assert_eq!(report.stats.decode_errors, 0);
 }
 
 /// Maximum aggregation spreads the global maximum to every node (epidemic
