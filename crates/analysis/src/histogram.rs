@@ -98,7 +98,7 @@ impl Histogram {
         let max = self.bins.iter().copied().max().unwrap_or(0).max(1);
         let mut out = String::new();
         for (idx, &count) in self.bins.iter().enumerate() {
-            let (lo, hi) = self.bin_bounds(idx).expect("idx in range");
+            let (lo, hi) = self.bin_bounds(idx).expect("idx in range"); // lint-allow(unwrap): idx enumerates self.bins, so it is always in range
             let bar_len = (count * 40 / max) as usize;
             out.push_str(&format!(
                 "[{lo:>10.3}, {hi:>10.3}) {count:>8} {}\n",

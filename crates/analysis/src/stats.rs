@@ -45,7 +45,7 @@ impl Summary {
             0.0
         };
         let mut sorted = values.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in observations"));
+        sorted.sort_by(f64::total_cmp);
         let median = if count % 2 == 1 {
             sorted[count / 2]
         } else {
@@ -84,7 +84,7 @@ impl Summary {
             return None;
         }
         let mut sorted = values.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in observations"));
+        sorted.sort_by(f64::total_cmp);
         let rank = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
         Some(sorted[rank - 1])
     }

@@ -1,0 +1,77 @@
+//! Minimal JSON emission for the machine-readable report.
+//!
+//! The build environment vendors no `serde_json`, so the report is emitted
+//! by hand: only objects, arrays, strings, integers and booleans are needed,
+//! and [`escape`] covers the full JSON string grammar.
+
+use crate::Report;
+
+/// Escapes `s` as the contents of a JSON string (no surrounding quotes).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the full report as a JSON document (findings, suppressions,
+/// summary), deterministically ordered.
+pub fn render(report: &Report) -> String {
+    let mut out = String::from("{\n  \"version\": 1,\n  \"findings\": [\n");
+    let findings: Vec<String> = report
+        .findings
+        .iter()
+        .map(|f| {
+            format!(
+                "    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"message\": \"{}\"}}",
+                escape(&f.rule),
+                escape(&f.file),
+                f.line,
+                escape(&f.message)
+            )
+        })
+        .collect();
+    out.push_str(&findings.join(",\n"));
+    out.push_str("\n  ],\n  \"suppressed\": [\n");
+    let suppressed: Vec<String> = report
+        .suppressed
+        .iter()
+        .map(|s| {
+            format!(
+                "    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"reason\": \"{}\"}}",
+                escape(&s.finding.rule),
+                escape(&s.finding.file),
+                s.finding.line,
+                escape(&s.reason)
+            )
+        })
+        .collect();
+    out.push_str(&suppressed.join(",\n"));
+    out.push_str(&format!(
+        "\n  ],\n  \"summary\": {{\"files_checked\": {}, \"findings\": {}, \"suppressed\": {}}}\n}}\n",
+        report.files_checked,
+        report.findings.len(),
+        report.suppressed.len()
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_covers_json_specials() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+}

@@ -1,0 +1,146 @@
+//! CLI entry point: `gossip-lint <check|write-registry|rules> [flags]`.
+//!
+//! Exit codes: `0` clean, `1` findings (or registry drift), `2` usage or
+//! I/O error. See the crate docs ([`gossip_lint`]) for the full contract.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use gossip_lint::{find_workspace_root, json, Engine, REGISTRY_FILE};
+
+const USAGE: &str = "\
+gossip-lint — determinism & concurrency lints for this workspace
+
+USAGE:
+    gossip-lint check [--json <path>] [--check-registry] [--root <dir>]
+    gossip-lint write-registry [--root <dir>]
+    gossip-lint rules
+
+`check` exits 0 when clean, 1 on any finding. Suppress a finding with
+`// lint-allow(<rule>): <reason>`; stale or reason-less allows are findings
+themselves.";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(clean) => {
+            if clean {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(message) => {
+            eprintln!("gossip-lint: {message}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<bool, String> {
+    let Some(command) = args.first() else {
+        return Err(format!("missing subcommand\n\n{USAGE}"));
+    };
+    match command.as_str() {
+        "check" => check(&args[1..]),
+        "write-registry" => write_registry(&args[1..]),
+        "rules" => {
+            print_rules();
+            Ok(true)
+        }
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            Ok(true)
+        }
+        other => Err(format!("unknown subcommand `{other}`\n\n{USAGE}")),
+    }
+}
+
+fn parse_root(args: &[String]) -> Result<PathBuf, String> {
+    if let Some(pos) = args.iter().position(|a| a == "--root") {
+        let dir = args
+            .get(pos + 1)
+            .ok_or_else(|| "--root needs a directory".to_string())?;
+        return Ok(PathBuf::from(dir));
+    }
+    let cwd = std::env::current_dir().map_err(|e| format!("cannot read cwd: {e}"))?;
+    find_workspace_root(&cwd).ok_or_else(|| {
+        "no workspace root (Cargo.toml + crates/) above cwd; pass --root".to_string()
+    })
+}
+
+fn check(args: &[String]) -> Result<bool, String> {
+    let root = parse_root(args)?;
+    let engine = Engine::load(&root).map_err(|e| format!("loading {}: {e}", root.display()))?;
+    let (mut report, catalog) = engine.check_with_catalog();
+
+    if args.iter().any(|a| a == "--check-registry") {
+        let drift = engine
+            .registry_drift(&catalog)
+            .map_err(|e| format!("reading {REGISTRY_FILE}: {e}"))?;
+        if let Some(finding) = drift {
+            report.findings.push(finding);
+            report.findings.sort();
+        }
+    }
+
+    if let Some(pos) = args.iter().position(|a| a == "--json") {
+        let path = args
+            .get(pos + 1)
+            .ok_or_else(|| "--json needs a file path".to_string())?;
+        std::fs::write(path, json::render(&report)).map_err(|e| format!("writing {path}: {e}"))?;
+    }
+
+    for finding in &report.findings {
+        println!("{finding}");
+    }
+    println!(
+        "gossip-lint: {} files checked, {} findings, {} suppressed by lint-allow",
+        report.files_checked,
+        report.findings.len(),
+        report.suppressed.len()
+    );
+    Ok(report.is_clean())
+}
+
+fn write_registry(args: &[String]) -> Result<bool, String> {
+    let root = parse_root(args)?;
+    let engine = Engine::load(&root).map_err(|e| format!("loading {}: {e}", root.display()))?;
+    let path = root.join(REGISTRY_FILE);
+    std::fs::write(&path, engine.registry_markdown())
+        .map_err(|e| format!("writing {}: {e}", path.display()))?;
+    println!("gossip-lint: wrote {}", path.display());
+    Ok(true)
+}
+
+fn print_rules() {
+    println!("gossip-lint rule catalog:");
+    println!(
+        "  nondeterminism  no HashMap/HashSet, Instant::now/SystemTime::now, thread_rng,\n\
+         \x20                 from_entropy in protocol crates (core, sim, faults, membership,\n\
+         \x20                 net) outside tests; the effects module is the injection boundary\n\
+         \x20                 and is exempt"
+    );
+    println!(
+        "  seed-streams    SeedSequence labels must be string literals or documented consts,\n\
+         \x20                 unique to one purpose; SEED_STREAMS.md is generated from them"
+    );
+    println!(
+        "  unwrap          no unwrap/expect/panic! in non-test library code; allows must\n\
+         \x20                 cite the invariant that makes the call infallible"
+    );
+    println!(
+        "  merge-order     mailbox drains must restore a seq-sorted total order; no\n\
+         \x20                 statistics merges inside spawned workers (crates/sim)"
+    );
+    println!(
+        "  unsafe-safety   #![forbid(unsafe_code)] in every crate root without unsafe;\n\
+         \x20                 // SAFETY: comments required where unsafe exists"
+    );
+    println!(
+        "  (driver)        stale-allow / malformed-allow: lint-allow annotations must\n\
+         \x20                 carry a reason and match a live violation"
+    );
+}

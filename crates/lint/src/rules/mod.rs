@@ -1,0 +1,66 @@
+//! The lint catalog: one module per rule, plus the shared [`Finding`] type.
+//!
+//! | rule | guards |
+//! |---|---|
+//! | `nondeterminism` | no unordered containers, wall clocks or ambient RNG in protocol paths |
+//! | `seed-streams` | every `SeedSequence` label is a literal, unique, and registered |
+//! | `unwrap` | no `unwrap`/`expect`/`panic!` in non-test library code |
+//! | `merge-order` | concurrent results merge through a seq-sorted path only |
+//! | `unsafe-safety` | `#![forbid(unsafe_code)]` everywhere, `SAFETY:` where not |
+//!
+//! Each rule walks the pre-lexed [`SourceFile`](crate::source::SourceFile)
+//! views; none of them re-read the filesystem. Suppression and stale-allow
+//! detection are the driver's job ([`crate::Engine::check`]), so rules always
+//! report every raw violation.
+
+pub mod merge_order;
+pub mod nondeterminism;
+pub mod seed_streams;
+pub mod unsafe_safety;
+pub mod unwrap_free;
+
+/// Crate directory names whose `src/` trees are protocol paths: code that
+/// runs inside (or schedules) gossip cycles and must stay bit-deterministic.
+pub const PROTOCOL_CRATES: &[&str] = &["core", "sim", "faults", "membership", "net"];
+
+/// The module exempt from `nondeterminism` and `seed-streams`: it *defines*
+/// the clock/entropy injection boundary, so it is the one place allowed to
+/// touch `Instant::now` and to handle labels generically.
+pub const EFFECTS_MODULE: &str = "crates/core/src/effects.rs";
+
+/// One diagnostic: a rule violation (or driver-level problem such as a stale
+/// allow) anchored to a file and 1-based line.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    /// Workspace-relative `/`-separated path.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Rule name (`nondeterminism`, `seed-streams`, `unwrap`, `merge-order`,
+    /// `unsafe-safety`, or the driver's `stale-allow` / `malformed-allow`).
+    pub rule: String,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+impl Finding {
+    /// Builds a finding from parts; `line` is 1-based.
+    pub fn new(file: &str, line: usize, rule: &str, message: String) -> Finding {
+        Finding {
+            file: file.to_string(),
+            line,
+            rule: rule.to_string(),
+            message,
+        }
+    }
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}

@@ -1,0 +1,138 @@
+//! Rule `unsafe-safety`: every crate forbids `unsafe`, or documents each use.
+//!
+//! The workspace already sets `unsafe_code = "forbid"` via
+//! `[workspace.lints]`, but that is one manifest edit away from silently
+//! disappearing for a single crate. This rule makes the guarantee local and
+//! self-describing:
+//!
+//! * a crate whose sources contain no `unsafe` must carry
+//!   `#![forbid(unsafe_code)]` at the top of its `lib.rs` (or `main.rs` for
+//!   binaries), so the promise survives manifest refactors;
+//! * a crate that *does* use `unsafe` (none today) must precede every
+//!   `unsafe` token with a `// SAFETY: …` comment within
+//!   [`SAFETY_WINDOW`] lines.
+
+use std::collections::BTreeMap;
+
+use super::Finding;
+use crate::source::{find_token, SourceFile};
+
+/// Rule name as used in diagnostics and `lint-allow`.
+pub const NAME: &str = "unsafe-safety";
+
+/// How many lines above an `unsafe` token the `SAFETY:` comment may sit.
+pub const SAFETY_WINDOW: usize = 3;
+
+/// Runs the rule across the whole workspace.
+pub fn check_workspace(files: &[SourceFile], out: &mut Vec<Finding>) {
+    // Per-crate: does any file contain `unsafe`? does the crate root carry
+    // the forbid attribute?
+    let mut has_unsafe: BTreeMap<&str, bool> = BTreeMap::new();
+    let mut root_file: BTreeMap<&str, &SourceFile> = BTreeMap::new();
+    let mut root_has_forbid: BTreeMap<&str, bool> = BTreeMap::new();
+
+    for file in files {
+        let crate_name = file.crate_name.as_str();
+        if crate_name.is_empty() {
+            continue;
+        }
+        let entry = has_unsafe.entry(crate_name).or_insert(false);
+        for (idx, line) in file.code.iter().enumerate() {
+            if find_token(line, "unsafe").is_some() {
+                *entry = true;
+                check_safety_comment(file, idx, out);
+            }
+        }
+        let is_root = file.rel == format!("crates/{crate_name}/src/lib.rs")
+            || file.rel == format!("crates/{crate_name}/src/main.rs");
+        if is_root {
+            let forbid = file
+                .code
+                .iter()
+                .any(|l| l.contains("#![forbid(unsafe_code)]"));
+            // lib.rs wins over main.rs when both exist.
+            if file.rel.ends_with("lib.rs") || !root_has_forbid.contains_key(crate_name) {
+                root_has_forbid.insert(crate_name, forbid);
+                root_file.insert(crate_name, file);
+            }
+        }
+    }
+
+    for (crate_name, forbid) in &root_has_forbid {
+        let uses_unsafe = has_unsafe.get(crate_name).copied().unwrap_or(false);
+        if !forbid && !uses_unsafe {
+            let file = root_file[crate_name];
+            out.push(Finding::new(
+                &file.rel,
+                1,
+                NAME,
+                format!(
+                    "crate `{crate_name}` contains no unsafe code but its root lacks \
+                     `#![forbid(unsafe_code)]` — make the guarantee local and explicit"
+                ),
+            ));
+        }
+    }
+}
+
+fn check_safety_comment(file: &SourceFile, idx: usize, out: &mut Vec<Finding>) {
+    let documented = (idx.saturating_sub(SAFETY_WINDOW)..=idx)
+        .any(|j| file.comments.get(j).is_some_and(|c| c.contains("SAFETY:")));
+    if !documented {
+        out.push(Finding::new(
+            &file.rel,
+            idx + 1,
+            NAME,
+            format!(
+                "`unsafe` without a `// SAFETY:` comment within {SAFETY_WINDOW} lines — \
+                 state the invariant that makes this sound"
+            ),
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(specs: &[(&str, &str)]) -> Vec<Finding> {
+        let files: Vec<SourceFile> = specs
+            .iter()
+            .map(|(rel, src)| SourceFile::parse(rel, src))
+            .collect();
+        let mut out = Vec::new();
+        check_workspace(&files, &mut out);
+        out
+    }
+
+    #[test]
+    fn missing_forbid_is_flagged_present_is_not() {
+        let found = run(&[("crates/demo/src/lib.rs", "//! Docs.\npub fn f() {}\n")]);
+        assert_eq!(found.len(), 1);
+        assert!(found[0].message.contains("forbid(unsafe_code)"));
+
+        let clean = run(&[(
+            "crates/demo/src/lib.rs",
+            "//! Docs.\n#![forbid(unsafe_code)]\npub fn f() {}\n",
+        )]);
+        assert!(clean.is_empty());
+    }
+
+    #[test]
+    fn unsafe_needs_safety_comment() {
+        let found = run(&[(
+            "crates/demo/src/lib.rs",
+            "pub fn f() {\n    unsafe { core() }\n}\n",
+        )]);
+        // One for the undocumented unsafe; no missing-forbid finding because
+        // the crate cannot forbid what it uses.
+        assert_eq!(found.len(), 1);
+        assert!(found[0].message.contains("SAFETY:"));
+
+        let clean = run(&[(
+            "crates/demo/src/lib.rs",
+            "pub fn f() {\n    // SAFETY: bounds checked above.\n    unsafe { core() }\n}\n",
+        )]);
+        assert!(clean.is_empty());
+    }
+}

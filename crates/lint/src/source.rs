@@ -1,0 +1,506 @@
+//! Source model: lexes a `.rs` file just far enough for line-oriented rules.
+//!
+//! The scanner classifies every character as code, comment or string-literal
+//! content and derives three line-aligned views:
+//!
+//! * [`SourceFile::code`] — comments and string/char contents blanked out
+//!   (delimiters kept), so pattern rules never fire inside prose or data;
+//! * [`SourceFile::code_with_strings`] — only comments blanked, for rules
+//!   that must read string literals (the seed-stream registry);
+//! * [`SourceFile::comments`] — the comment text of each line, for
+//!   `lint-allow` and `SAFETY:` parsing.
+//!
+//! On top of the views it marks `#[cfg(test)]` / `#[test]` item regions
+//! (brace-balanced over the code view) so library rules can skip test code,
+//! and extracts [`Allow`] annotations.
+
+use std::fmt;
+
+/// One `// lint-allow(<rule>): <reason>` annotation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Allow {
+    /// Rule name inside the parentheses.
+    pub rule: String,
+    /// Justification after the colon (trimmed; may be empty, which the
+    /// driver reports as malformed).
+    pub reason: String,
+    /// 1-based line the annotation appears on.
+    pub line: usize,
+    /// 1-based line the annotation suppresses: the same line for a trailing
+    /// comment, the next line carrying code for a standalone comment.
+    pub target_line: usize,
+}
+
+/// A lexed source file plus the derived views the rules consume.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Path relative to the workspace root, `/`-separated.
+    pub rel: String,
+    /// The crate directory name under `crates/` (e.g. `sim`).
+    pub crate_name: String,
+    /// Raw lines, without terminators.
+    pub lines: Vec<String>,
+    /// Lines with comments and string/char contents blanked to spaces.
+    pub code: Vec<String>,
+    /// Lines with only comments blanked (string literals preserved).
+    pub code_with_strings: Vec<String>,
+    /// Per-line comment text (characters the lexer classified as comment).
+    pub comments: Vec<String>,
+    /// Per-line flag: inside a `#[cfg(test)]` / `#[test]` item.
+    pub is_test_line: Vec<bool>,
+    /// All `lint-allow` annotations found in comments.
+    pub allows: Vec<Allow>,
+}
+
+impl fmt::Display for SourceFile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({} lines)", self.rel, self.lines.len())
+    }
+}
+
+/// Character classes assigned by the lexer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Class {
+    /// Executable source text, including string delimiters.
+    Code,
+    /// Comment text (the `//` / `/* */` markers included).
+    Comment,
+    /// The contents of a string, raw-string, char or byte literal.
+    StrContent,
+}
+
+/// Lexer state across the whole file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Code,
+    LineComment,
+    /// Nesting depth of `/* */` (Rust block comments nest).
+    BlockComment(u32),
+    /// Inside `"…"`.
+    Str,
+    /// Inside `r##"…"##` with the given hash count.
+    RawStr(u32),
+}
+
+fn is_ident(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Classifies every character of `text`.
+fn classify(text: &str) -> Vec<(char, Class)> {
+    let chars: Vec<char> = text.chars().collect();
+    let mut out: Vec<(char, Class)> = Vec::with_capacity(chars.len());
+    let mut state = State::Code;
+    let mut i = 0usize;
+    while i < chars.len() {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied();
+        match state {
+            State::Code => {
+                if c == '/' && next == Some('/') {
+                    state = State::LineComment;
+                    out.push((c, Class::Comment));
+                } else if c == '/' && next == Some('*') {
+                    state = State::BlockComment(1);
+                    out.push((c, Class::Comment));
+                } else if c == '"' {
+                    state = State::Str;
+                    out.push((c, Class::Code));
+                } else if (c == 'r' || c == 'b')
+                    && !out
+                        .last()
+                        .map(|(p, cl)| *cl == Class::Code && is_ident(*p))
+                        .unwrap_or(false)
+                {
+                    // Possible raw / byte literal prefix: r"…", r#"…"#, b"…",
+                    // br#"…"#. Scan the prefix; fall through to plain code if
+                    // it is just an identifier character.
+                    let mut j = i;
+                    if c == 'b' && chars.get(j + 1) == Some(&'r') {
+                        j += 1;
+                    }
+                    let mut hashes = 0u32;
+                    let mut k = j + 1;
+                    while chars.get(k) == Some(&'#') {
+                        hashes += 1;
+                        k += 1;
+                    }
+                    if chars.get(k) == Some(&'"') && (hashes > 0 || chars[j] == 'r' || c == 'b') {
+                        // Emit the prefix and opening quote as code.
+                        for &p in &chars[i..=k] {
+                            out.push((p, Class::Code));
+                        }
+                        i = k + 1;
+                        state = if hashes > 0 || chars[j] == 'r' {
+                            State::RawStr(hashes)
+                        } else {
+                            State::Str
+                        };
+                        continue;
+                    }
+                    out.push((c, Class::Code));
+                } else if c == '\'' {
+                    // Char literal vs lifetime: 'x' / '\n' are literals,
+                    // 'static is a lifetime.
+                    if next == Some('\\') {
+                        // Escape: mask until the closing quote.
+                        out.push((c, Class::Code));
+                        let mut j = i + 1;
+                        while j < chars.len() && chars[j] != '\'' {
+                            out.push((chars[j], Class::StrContent));
+                            j += 1;
+                        }
+                        if j < chars.len() {
+                            out.push((chars[j], Class::Code));
+                        }
+                        i = j + 1;
+                        continue;
+                    } else if chars.get(i + 2) == Some(&'\'') && next.is_some() {
+                        out.push((c, Class::Code));
+                        out.push((chars[i + 1], Class::StrContent));
+                        out.push((chars[i + 2], Class::Code));
+                        i += 3;
+                        continue;
+                    }
+                    out.push((c, Class::Code));
+                } else {
+                    out.push((c, Class::Code));
+                }
+            }
+            State::LineComment => {
+                if c == '\n' {
+                    state = State::Code;
+                    out.push((c, Class::Code));
+                } else {
+                    out.push((c, Class::Comment));
+                }
+            }
+            State::BlockComment(depth) => {
+                if c == '*' && next == Some('/') {
+                    out.push((c, Class::Comment));
+                    out.push(('/', Class::Comment));
+                    i += 2;
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    continue;
+                } else if c == '/' && next == Some('*') {
+                    out.push((c, Class::Comment));
+                    out.push(('*', Class::Comment));
+                    i += 2;
+                    state = State::BlockComment(depth + 1);
+                    continue;
+                }
+                out.push((c, Class::Comment));
+            }
+            State::Str => {
+                if c == '\\' {
+                    out.push((c, Class::StrContent));
+                    if let Some(n) = next {
+                        out.push((n, Class::StrContent));
+                        i += 2;
+                        continue;
+                    }
+                } else if c == '"' {
+                    out.push((c, Class::Code));
+                    state = State::Code;
+                } else {
+                    out.push((c, Class::StrContent));
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == '"' {
+                    let mut ok = true;
+                    for h in 0..hashes as usize {
+                        if chars.get(i + 1 + h) != Some(&'#') {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if ok {
+                        out.push((c, Class::Code));
+                        for h in 0..hashes as usize {
+                            out.push((chars[i + 1 + h], Class::Code));
+                        }
+                        i += 1 + hashes as usize;
+                        state = State::Code;
+                        continue;
+                    }
+                }
+                out.push((c, Class::StrContent));
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Splits classified characters into the three line-aligned views.
+fn views(classified: &[(char, Class)]) -> (Vec<String>, Vec<String>, Vec<String>, Vec<String>) {
+    let mut lines = vec![String::new()];
+    let mut code = vec![String::new()];
+    let mut code_with_strings = vec![String::new()];
+    let mut comments = vec![String::new()];
+    for &(c, class) in classified {
+        if c == '\n' {
+            lines.push(String::new());
+            code.push(String::new());
+            code_with_strings.push(String::new());
+            comments.push(String::new());
+            continue;
+        }
+        let last = lines.len() - 1;
+        lines[last].push(c);
+        match class {
+            Class::Code => {
+                code[last].push(c);
+                code_with_strings[last].push(c);
+            }
+            Class::StrContent => {
+                code[last].push(' ');
+                code_with_strings[last].push(c);
+            }
+            Class::Comment => {
+                code[last].push(' ');
+                code_with_strings[last].push(' ');
+                comments[last].push(c);
+            }
+        }
+    }
+    (lines, code, code_with_strings, comments)
+}
+
+/// Marks the line span of every `#[cfg(test)]` / `#[cfg(any(test…))]` /
+/// `#[test]` item by balancing braces over the code view.
+fn mark_test_regions(code: &[String]) -> Vec<bool> {
+    let mut marked = vec![false; code.len()];
+    for (idx, line) in code.iter().enumerate() {
+        let t = line.trim();
+        let is_cfg_test = t.contains("#[cfg(test)]")
+            || t.contains("#[cfg(any(test")
+            || t.contains("#[cfg(all(test")
+            || t.contains("#[test]");
+        if !is_cfg_test {
+            continue;
+        }
+        // Find the end of the annotated item: the first top-level `;` or the
+        // close of the first `{ … }` block, starting after the attribute.
+        let mut depth: i64 = 0;
+        let mut seen_open = false;
+        let mut end = idx;
+        // Skip past the attribute itself on the marker line.
+        let start_col = line.find(']').map(|p| p + 1).unwrap_or(0);
+        'outer: for (j, l) in code.iter().enumerate().skip(idx) {
+            let s = if j == idx {
+                &l[start_col.min(l.len())..]
+            } else {
+                l
+            };
+            for ch in s.chars() {
+                match ch {
+                    '{' => {
+                        depth += 1;
+                        seen_open = true;
+                    }
+                    '}' => {
+                        depth -= 1;
+                        if seen_open && depth <= 0 {
+                            end = j;
+                            break 'outer;
+                        }
+                    }
+                    ';' if !seen_open && depth == 0 => {
+                        end = j;
+                        break 'outer;
+                    }
+                    _ => {}
+                }
+            }
+            end = j;
+        }
+        for flag in marked.iter_mut().take(end + 1).skip(idx) {
+            *flag = true;
+        }
+    }
+    marked
+}
+
+/// Extracts `lint-allow(<rule>): <reason>` annotations from comment text.
+fn extract_allows(code: &[String], comments: &[String]) -> Vec<Allow> {
+    let mut allows = Vec::new();
+    for (idx, comment) in comments.iter().enumerate() {
+        // Doc comments only *describe* the annotation syntax; a live
+        // annotation is a plain `//` comment.
+        let trimmed = comment.trim_start();
+        if trimmed.starts_with("///") || trimmed.starts_with("//!") {
+            continue;
+        }
+        let mut rest = comment.as_str();
+        while let Some(pos) = rest.find("lint-allow(") {
+            let after = &rest[pos + "lint-allow(".len()..];
+            let Some(close) = after.find(')') else {
+                break;
+            };
+            let rule = after[..close].trim().to_string();
+            let tail = &after[close + 1..];
+            let reason = tail
+                .strip_prefix(':')
+                .map(|r| {
+                    // The reason runs to the end of the comment or the next
+                    // annotation on the same line.
+                    match r.find("lint-allow(") {
+                        Some(p) => r[..p].trim_end_matches(['/', ' ']).trim().to_string(),
+                        None => r.trim().to_string(),
+                    }
+                })
+                .unwrap_or_default();
+            let has_code = !code[idx].trim().is_empty();
+            let target_line = if has_code {
+                idx + 1
+            } else {
+                // Standalone comment: suppresses the next line carrying code.
+                let mut target = idx + 2;
+                for (j, l) in code.iter().enumerate().skip(idx + 1) {
+                    if !l.trim().is_empty() {
+                        target = j + 1;
+                        break;
+                    }
+                }
+                target
+            };
+            allows.push(Allow {
+                rule,
+                reason,
+                line: idx + 1,
+                target_line,
+            });
+            rest = tail;
+        }
+    }
+    allows
+}
+
+impl SourceFile {
+    /// Lexes `text` into a source model.
+    ///
+    /// `rel` is the `/`-separated path relative to the workspace root; the
+    /// crate name is derived from its `crates/<name>/…` prefix (empty when
+    /// the file lives elsewhere).
+    pub fn parse(rel: &str, text: &str) -> SourceFile {
+        let classified = classify(text);
+        let (mut lines, mut code, mut code_with_strings, mut comments) = views(&classified);
+        // A trailing newline leaves one empty phantom line; drop it so line
+        // counts match editors.
+        if lines.last().is_some_and(|l| l.is_empty()) && text.ends_with('\n') {
+            lines.pop();
+            code.pop();
+            code_with_strings.pop();
+            comments.pop();
+        }
+        let is_test_line = mark_test_regions(&code);
+        let allows = extract_allows(&code, &comments);
+        let crate_name = rel
+            .strip_prefix("crates/")
+            .and_then(|r| r.split('/').next())
+            .unwrap_or("")
+            .to_string();
+        SourceFile {
+            rel: rel.to_string(),
+            crate_name,
+            lines,
+            code,
+            code_with_strings,
+            comments,
+            is_test_line,
+            allows,
+        }
+    }
+
+    /// True when the 0-based line index sits inside a test item.
+    pub fn in_test(&self, idx: usize) -> bool {
+        self.is_test_line.get(idx).copied().unwrap_or(false)
+    }
+}
+
+/// Finds `needle` in `haystack` at identifier boundaries; returns the byte
+/// offset of the first such match.
+pub fn find_token(haystack: &str, needle: &str) -> Option<usize> {
+    let mut start = 0usize;
+    while let Some(pos) = haystack[start..].find(needle) {
+        let abs = start + pos;
+        let before_ok = abs == 0 || !haystack[..abs].chars().next_back().is_some_and(is_ident);
+        let after = abs + needle.len();
+        let after_ok =
+            after >= haystack.len() || !haystack[after..].chars().next().is_some_and(is_ident);
+        if before_ok && after_ok {
+            return Some(abs);
+        }
+        start = abs + needle.len();
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_comments_and_strings() {
+        let src = "let x = \"HashMap\"; // HashMap here\nlet y = 1; /* thread_rng */\n";
+        let f = SourceFile::parse("crates/demo/src/lib.rs", src);
+        assert!(!f.code[0].contains("HashMap"));
+        assert!(f.code_with_strings[0].contains("HashMap"));
+        assert!(f.comments[0].contains("HashMap"));
+        assert!(!f.code[1].contains("thread_rng"));
+        assert_eq!(f.crate_name, "demo");
+    }
+
+    #[test]
+    fn raw_strings_and_chars_are_masked() {
+        let src = "let a = r#\"Instant::now\"#;\nlet b = '\\n';\nlet c: &'static str = \"x\";\n";
+        let f = SourceFile::parse("crates/demo/src/lib.rs", src);
+        assert!(!f.code[0].contains("Instant::now"));
+        assert!(f.code[2].contains("&'static str"));
+    }
+
+    #[test]
+    fn cfg_test_regions_are_marked() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn live2() {}\n";
+        let f = SourceFile::parse("crates/demo/src/lib.rs", src);
+        assert!(!f.in_test(0));
+        assert!(f.in_test(1));
+        assert!(f.in_test(3));
+        assert!(f.in_test(4));
+        assert!(!f.in_test(5));
+    }
+
+    #[test]
+    fn allow_annotations_parse_trailing_and_standalone() {
+        let src = "x.unwrap(); // lint-allow(unwrap): checked above\n// lint-allow(nondeterminism): telemetry only\ny();\n";
+        let f = SourceFile::parse("crates/demo/src/lib.rs", src);
+        assert_eq!(f.allows.len(), 2);
+        assert_eq!(f.allows[0].rule, "unwrap");
+        assert_eq!(f.allows[0].target_line, 1);
+        assert_eq!(f.allows[1].rule, "nondeterminism");
+        assert_eq!(f.allows[1].target_line, 3);
+        assert_eq!(f.allows[1].reason, "telemetry only");
+    }
+
+    #[test]
+    fn token_boundaries_respected() {
+        assert!(find_token("use std::collections::HashMap;", "HashMap").is_some());
+        assert!(find_token("MyHashMapLike", "HashMap").is_none());
+        assert!(find_token("x.unwrap_or(0)", "unwrap").is_none());
+        assert!(find_token("thread_rng()", "thread_rng").is_some());
+    }
+
+    #[test]
+    fn nested_block_comments_close_correctly() {
+        let src = "/* a /* b */ still comment */ fn real() {}\n";
+        let f = SourceFile::parse("crates/demo/src/lib.rs", src);
+        assert!(f.code[0].contains("fn real"));
+        assert!(!f.code[0].contains("still"));
+    }
+}

@@ -1,0 +1,10 @@
+//! Fixture: `unsafe` blocks, one undocumented and one documented.
+
+pub fn peek(p: *const u32) -> u32 {
+    unsafe { *p }
+}
+
+pub fn peek_documented(p: *const u32) -> u32 {
+    // SAFETY: caller guarantees `p` is valid and aligned.
+    unsafe { *p }
+}

@@ -1,0 +1,10 @@
+//! Fixture: net crate missing `#![forbid(unsafe_code)]`, with a runtime
+//! label and a cross-crate inline label.
+
+pub fn run(seeds: &SeedSequence, label: &str) {
+    let _rng = seeds.rng_for_labeled(0, label);
+}
+
+pub fn shared(seeds: &SeedSequence) {
+    let _rng = seeds.rng_for_labeled(0, "shared-label");
+}

@@ -1,0 +1,33 @@
+//! Fixture: protocol-crate lib with known nondeterminism/unwrap violations.
+#![forbid(unsafe_code)]
+
+use std::collections::HashMap;
+
+pub fn now_ms() -> u64 {
+    let t = Instant::now();
+    t.elapsed().as_millis() as u64
+}
+
+pub fn lookup(map: &HashMap<u32, u32>, k: u32) -> u32 {
+    *map.get(&k).unwrap()
+}
+
+// lint-allow(nondeterminism): keyed lookup only; never iterated
+pub type Cache = HashMap<u64, u64>;
+
+// lint-allow(unwrap): stale — nothing on the next line violates the rule
+pub fn fine() {}
+
+// lint-allow(nondeterminism)
+pub type Cache2 = HashMap<u64, u64>;
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashSet;
+
+    #[test]
+    fn violations_in_tests_are_exempt() {
+        let _set: HashSet<u32> = HashSet::new();
+        let _v = None::<u32>.unwrap_or(0);
+    }
+}

@@ -204,10 +204,12 @@ impl PeerSampler for NewscastSampler {
             let response = self
                 .nodes
                 .get_mut(&partner)
+                // lint-allow(unwrap): partner membership checked at the top of this loop iteration
                 .expect("checked above")
                 .accept_exchange(&offer);
             self.nodes
                 .get_mut(initiator)
+                // lint-allow(unwrap): initiator is drawn from the current member list
                 .expect("iterating current members")
                 .complete_exchange(&response);
         }

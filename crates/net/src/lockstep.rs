@@ -280,6 +280,7 @@ impl VirtualCluster {
             let mut pushes = std::mem::take(&mut self.scratch_pushes);
             let started = self.nodes[slot]
                 .as_mut()
+                // lint-allow(unwrap): slot liveness checked when the schedule entry was drawn
                 .expect("checked above")
                 .begin(peer_id, &mut pushes);
             if !started {
@@ -298,10 +299,13 @@ impl VirtualCluster {
                 }
                 self.endpoints[slot]
                     .send(push)
+                    // lint-allow(unwrap): every live slot owns an in-memory endpoint; send cannot fail
                     .expect("sampled peer has an endpoint");
                 let message = self.endpoints[peer_slot]
                     .recv_timeout(Duration::ZERO)
+                    // lint-allow(unwrap): frames cross an in-memory channel bit-exactly; decode cannot fail
                     .expect("in-memory frames always decode")
+                    // lint-allow(unwrap): the push was enqueued by the send directly above
                     .expect("frame was just enqueued");
                 // When no reply is owed (stale-epoch push, epoch jump) there
                 // is nothing to ship back; a peer can never be mid-exchange
@@ -309,6 +313,7 @@ impl VirtualCluster {
                 // before the next begins.
                 if let Delivery::Reply(reply) = self.nodes[peer_slot]
                     .as_mut()
+                    // lint-allow(unwrap): peer liveness checked when the exchange was scheduled
                     .expect("sampled peer is live")
                     .deliver(message)
                 {
@@ -317,6 +322,7 @@ impl VirtualCluster {
                     } else {
                         self.endpoints[peer_slot]
                             .send(&reply)
+                            // lint-allow(unwrap): every live slot owns an in-memory endpoint; send cannot fail
                             .expect("initiator has an endpoint");
                     }
                 }
@@ -326,11 +332,13 @@ impl VirtualCluster {
             while let Ok(Some(reply)) = self.endpoints[slot].recv_timeout(Duration::ZERO) {
                 self.nodes[slot]
                     .as_mut()
+                    // lint-allow(unwrap): slot liveness checked when the schedule entry was drawn
                     .expect("checked above")
                     .deliver(reply);
             }
             self.nodes[slot]
                 .as_mut()
+                // lint-allow(unwrap): slot liveness checked when the schedule entry was drawn
                 .expect("checked above")
                 .close_pending();
             self.scratch_pushes = pushes;
@@ -414,7 +422,7 @@ impl VirtualCluster {
             }
             let position = self.rng.gen_range(0..self.live.len());
             let slot = self.live[position];
-            let last = *self.live.last().expect("non-empty");
+            let last = *self.live.last().expect("non-empty"); // lint-allow(unwrap): guarded by the is_empty break above
             self.live.swap_remove(position);
             if last != slot {
                 self.live_pos[last as usize] = position as u32;

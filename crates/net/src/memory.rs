@@ -5,7 +5,7 @@ use aggregate_core::GossipMessage;
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use overlay_topology::NodeId;
-use std::collections::HashMap;
+use std::collections::HashMap; // lint-allow(nondeterminism): keyed lookup only; peers() sorts before iterating
 use std::time::Duration;
 
 /// A single-process "network": one channel pair per node, with every endpoint
@@ -44,6 +44,7 @@ use std::time::Duration;
 pub struct InMemoryNetwork {
     id: NodeId,
     inbox: Receiver<Bytes>,
+    // lint-allow(nondeterminism): outboxes are looked up by key; peers() sorts its keys
     outboxes: HashMap<u32, Sender<Bytes>>,
 }
 

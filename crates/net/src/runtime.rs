@@ -617,7 +617,9 @@ impl GossipCluster {
         // bounded by a generous deadline.
         let nominal = Duration::from_millis(config.cycle_length_ms * u64::from(config.cycles) + 50);
         std::thread::sleep(nominal);
+        // lint-allow(nondeterminism): live-runtime liveness deadline; protocol state never reads it
         let deadline = Instant::now() + nominal.saturating_mul(10) + Duration::from_secs(2);
+        // lint-allow(nondeterminism): live-runtime liveness deadline; protocol state never reads it
         while Instant::now() < deadline {
             let slowest = runtimes
                 .iter()

@@ -4,7 +4,7 @@ use crate::{codec, NetError, Transport};
 use aggregate_core::GossipMessage;
 use overlay_topology::NodeId;
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::HashMap; // lint-allow(nondeterminism): keyed lookup only; peers() sorts before iterating
 use std::net::{SocketAddr, UdpSocket};
 use std::time::Duration;
 
@@ -30,6 +30,7 @@ use std::time::Duration;
 pub struct UdpTransport {
     id: NodeId,
     socket: UdpSocket,
+    // lint-allow(nondeterminism): address book is looked up by key; peers() sorts its keys
     address_book: HashMap<u32, SocketAddr>,
     // Nanoseconds of the read timeout currently programmed into the socket
     // (0 = nothing cached). Receive loops call recv_timeout with the same

@@ -407,7 +407,7 @@ impl NodeArena {
     fn remove_slot(&mut self, slot: u32) {
         let pos = self.live_pos[slot as usize];
         debug_assert_ne!(pos, NOT_LIVE, "removing a slot that is not live");
-        let last = *self.live.last().expect("live set contains the slot");
+        let last = *self.live.last().expect("live set contains the slot"); // lint-allow(unwrap): live_pos proved the slot live, so the live set is non-empty
         self.live.swap_remove(pos as usize);
         if last != slot {
             self.live_pos[last as usize] = pos;

@@ -161,6 +161,7 @@ impl GossipSimulation {
     /// conditions as typed errors.
     pub fn new(config: SimulationConfig, initial_values: &[f64], master_seed: u64) -> Self {
         GossipSimulation::build(config, initial_values, master_seed, FaultPlan::none())
+            // lint-allow(unwrap): documented `# Panics` contract; `try_new` is the typed-error variant
             .expect("invalid simulation configuration")
     }
 
@@ -417,6 +418,7 @@ impl GossipSimulation {
                 } = self;
                 let initiator_pos = arena
                     .live_pos_of_slot(initiator_slot)
+                    // lint-allow(unwrap): initiator slot comes from this cycle's live snapshot
                     .expect("checked above") as usize;
                 sample_live_peer(
                     sampler.as_mut(),
@@ -440,11 +442,12 @@ impl GossipSimulation {
                 exchanges_blocked += 1;
                 continue;
             }
-            let peer_slot = self.arena.slot_of(peer_id).expect("sampled peer is live");
+            let peer_slot = self.arena.slot_of(peer_id).expect("sampled peer is live"); // lint-allow(unwrap): sampler returned it from the live directory this cycle
             let arena = &mut self.arena;
             let rng = &mut self.rng;
             let initiator = arena
                 .node_at_slot_mut(initiator_slot)
+                // lint-allow(unwrap): initiator slot comes from this cycle's live snapshot
                 .expect("checked above");
             if !ExchangeCore::begin(initiator, peer_id, &mut self.scratch_pushes) {
                 continue;
@@ -454,6 +457,7 @@ impl GossipSimulation {
             let mut lost = || loss > 0.0 && rng.gen_bool(loss);
             let peer = arena
                 .node_at_slot_mut(peer_slot)
+                // lint-allow(unwrap): peer_slot resolved from a live id above; no churn mid-cycle
                 .expect("live within cycle");
             ExchangeCore::respond(
                 peer,
@@ -464,6 +468,7 @@ impl GossipSimulation {
             );
             let initiator = arena
                 .node_at_slot_mut(initiator_slot)
+                // lint-allow(unwrap): initiator slot comes from this cycle's live snapshot
                 .expect("checked above");
             ExchangeCore::complete(initiator, &self.scratch_replies);
         }

@@ -144,6 +144,9 @@ pub enum SimError {
     Config(SimConfigError),
     /// The protocol configuration or execution failed.
     Protocol(AggregationError),
+    /// A run finished without producing the measurement it was asked for
+    /// (e.g. no size-estimation epoch completed inside the cycle budget).
+    Incomplete(&'static str),
 }
 
 impl fmt::Display for SimError {
@@ -151,6 +154,7 @@ impl fmt::Display for SimError {
         match self {
             SimError::Config(e) => write!(f, "simulation configuration rejected: {e}"),
             SimError::Protocol(e) => write!(f, "protocol error: {e}"),
+            SimError::Incomplete(reason) => write!(f, "measurement incomplete: {reason}"),
         }
     }
 }
@@ -160,6 +164,7 @@ impl std::error::Error for SimError {
         match self {
             SimError::Config(e) => Some(e),
             SimError::Protocol(e) => Some(e),
+            SimError::Incomplete(_) => None,
         }
     }
 }

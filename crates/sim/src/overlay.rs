@@ -103,6 +103,7 @@ impl OverlayExperiment {
             ..SimulationConfig::averaging(protocol)
         };
         let seeds = SeedSequence::new(self.seed);
+        // stream: node value draws for overlay experiments
         let mut value_rng = seeds.rng_for_labeled(0, "overlay-values");
         let values =
             ValueDistribution::Uniform { lo: 0.0, hi: 1.0 }.generate(self.nodes, &mut value_rng);
@@ -172,12 +173,14 @@ pub fn newscast_snapshot_factor(
     let seeds = SeedSequence::new(seed);
     let mut factors = Vec::with_capacity(runs);
     for run in 0..runs {
+        // stream: NEWSCAST view warm-up exchanges before measurement
         let mut membership_rng = seeds.rng_for_labeled(run as u64, "newscast-warmup");
         let mut network = NewscastNetwork::bootstrap_ring(nodes, cache_size);
         for _ in 0..warmup_cycles {
             network.run_cycle(&mut membership_rng);
         }
         let topology = network.view_topology();
+        // stream: protocol execution — peer picks and exchange draws
         let mut rng = seeds.rng_for_labeled(run as u64, "protocol");
         let mut values = ValueDistribution::Uniform { lo: 0.0, hi: 1.0 }.generate(nodes, &mut rng);
         let mut selector = RandomEdgeSelector::new();

@@ -167,6 +167,7 @@ impl RobustnessSweep {
             .build()?;
         let config = SimulationConfig::averaging(protocol);
         let seeds = SeedSequence::new(self.seed);
+        // stream: node value draws for robustness sweeps
         let mut value_rng = seeds.rng_for_labeled(0, "robustness-values");
         let values =
             ValueDistribution::Uniform { lo: 0.0, hi: 1.0 }.generate(self.nodes, &mut value_rng);
@@ -335,7 +336,12 @@ pub fn crash_estimation_curve(
                 }
             });
         }
-        points.push(point.expect("epoch 1 completes within two epochs of cycles"));
+        let Some(point) = point else {
+            return Err(SimError::Incomplete(
+                "no size-estimation epoch completed within two epochs of cycles",
+            ));
+        };
+        points.push(point);
     }
     Ok(points)
 }

@@ -66,6 +66,7 @@ impl VarianceExperiment {
         let seeds = SeedSequence::new(self.seed);
         let mut per_cycle_factors: Vec<Vec<f64>> = vec![Vec::new(); self.cycles];
         for run in 0..self.runs {
+            // stream: overlay graph construction
             let mut topo_rng = seeds.rng_for_labeled(run as u64, "topology");
             let topology = TopologyBuilder::new(self.topology)
                 .nodes(self.nodes)
@@ -460,7 +461,7 @@ impl ChurnRunner {
         let mut total_joins = 0usize;
         let mut total_departures = 0usize;
         let mut peak_live_nodes = (hooks.live)(&sim);
-        let started = std::time::Instant::now();
+        let started = std::time::Instant::now(); // lint-allow(nondeterminism): wall-clock cycles/sec telemetry only; no protocol decision reads it
         for cycle in 0..scenario.total_cycles {
             // Apply churn before the cycle runs (joins wait for the next
             // epoch, departures are immediate).
@@ -550,6 +551,7 @@ pub fn robustness_run(
         sampler: SamplerConfig::UniformComplete,
     };
     let seeds = SeedSequence::new(seed);
+    // stream: node value draws for churn scenarios
     let mut rng = seeds.rng_for_labeled(0, "values");
     let values = ValueDistribution::Uniform { lo: 0.0, hi: 1.0 }.generate(nodes, &mut rng);
     // The engine's fault injector absorbs the conditions (constant loss plus

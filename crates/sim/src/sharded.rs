@@ -408,6 +408,7 @@ impl ShardedSimulation {
             global_live,
             cycle: 0,
             seeds,
+            // stream: random-victim departures under churn
             churn_rng: seeds.rng_for_labeled(0, "sharded-churn"),
             elections: 0,
             last_size_estimate: None,
@@ -509,6 +510,7 @@ impl ShardedSimulation {
         let protocol = self.config.base.protocol;
         let shard_idx = (0..self.shards.len())
             .min_by_key(|&s| (self.shards[s].arena.len(), s))
+            // lint-allow(unwrap): ShardedConfig::validate rejects zero shards
             .expect("at least one shard");
         let shard = &mut self.shards[shard_idx];
         let (id, slot) = shard.arena.insert_at(|id| {
@@ -698,10 +700,12 @@ impl ShardedSimulation {
         let shard_count = self.config.shards;
         let lossy = loss > 0.0;
         let loss_seeds =
+            // stream: per-exchange message-loss coins, re-derived each cycle
             SeedSequence::new(self.seeds.seed_for_labeled(self.cycle as u64, "cycle-loss"));
         let n = self.global_live.len();
         let mut rng = self
             .seeds
+            // stream: per-cycle initiator shuffle and peer picks
             .rng_for_labeled(self.cycle as u64, "cycle-schedule");
         let order = &mut self.sched.order;
         order.clear();
@@ -971,6 +975,7 @@ impl ShardedSimulation {
             return;
         };
         let previous = self.last_size_estimate;
+        // stream: epoch-boundary leader elections
         let mut rng = self.seeds.rng_for_labeled(self.elections, "election");
         self.elections += 1;
         let mut any_leader = false;
@@ -1202,6 +1207,7 @@ fn run_shard_worker(ctx: ShardWorker<'_>) {
             if !buf.is_empty() {
                 push_txs[dst]
                     .send(std::mem::take(buf))
+                    // lint-allow(unwrap): receivers outlive the cycle's thread scope by construction
                     .expect("peer shard receiver lives for the whole cycle");
             }
         }
@@ -1246,6 +1252,7 @@ fn run_shard_worker(ctx: ShardWorker<'_>) {
             if !buf.is_empty() {
                 reply_txs[dst]
                     .send(std::mem::take(buf))
+                    // lint-allow(unwrap): receivers outlive the cycle's thread scope by construction
                     .expect("initiator shard receiver lives for the whole cycle");
             }
         }

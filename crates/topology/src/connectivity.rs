@@ -39,7 +39,7 @@ pub fn bfs_distances(graph: &Graph, source: NodeId) -> Vec<Option<usize>> {
     distances[source.index()] = Some(0);
     queue.push_back(source);
     while let Some(current) = queue.pop_front() {
-        let d = distances[current.index()].expect("queued nodes have distances");
+        let d = distances[current.index()].expect("queued nodes have distances"); // lint-allow(unwrap): BFS assigns a distance before queueing any node
         for &next in graph.neighbors_slice(current) {
             if distances[next.index()].is_none() {
                 distances[next.index()] = Some(d + 1);

@@ -51,8 +51,8 @@ impl DegreeStats {
             };
         }
         let degrees: Vec<usize> = graph.node_ids().map(|id| graph.degree(id)).collect();
-        let min = *degrees.iter().min().expect("non-empty");
-        let max = *degrees.iter().max().expect("non-empty");
+        let min = *degrees.iter().min().expect("non-empty"); // lint-allow(unwrap): the n == 0 case returned early above
+        let max = *degrees.iter().max().expect("non-empty"); // lint-allow(unwrap): the n == 0 case returned early above
         let isolated = degrees.iter().filter(|&&d| d == 0).count();
         let mean = degrees.iter().sum::<usize>() as f64 / n as f64;
         let variance = degrees

@@ -29,6 +29,7 @@ impl NodeId {
     ///
     /// Panics if `index` does not fit in a `u32`.
     pub fn new(index: usize) -> Self {
+        // lint-allow(unwrap): documented `# Panics` contract of NodeId::new
         NodeId(u32::try_from(index).expect("node index exceeds u32::MAX"))
     }
 
