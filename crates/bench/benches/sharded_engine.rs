@@ -20,6 +20,7 @@
 //! sharded run).
 
 use aggregate_core::ProtocolConfig;
+use gossip_analysis::bench::{self, BenchReport, BenchRun};
 use gossip_analysis::Table;
 use gossip_bench::{env_u64, env_usize, print_header};
 use gossip_sim::sharded::cycle_telemetry_table;
@@ -60,6 +61,7 @@ fn main() {
     let mut reference_elapsed = f64::INFINITY;
     let mut reference_variance = 0.0;
     let mut sharded_elapsed = [f64::INFINITY; 4];
+    let mut sharded_exchanges = [0usize; 4];
     let mut sharded_variance = [0.0f64; 4];
     let mut sharded_workers = [1usize; 4];
     let mut rep_ratios: [Vec<f64>; 4] = Default::default();
@@ -86,6 +88,7 @@ fn main() {
             let summaries = sim.run(cycles);
             let elapsed = started.elapsed().as_secs_f64();
             sharded_elapsed[i] = sharded_elapsed[i].min(elapsed);
+            sharded_exchanges[i] = summaries.iter().map(|s| s.exchanges).sum();
             rep_ratios[i].push(rep_reference_elapsed / elapsed);
             sharded_variance[i] = summaries.last().expect("cycles >= 1").estimate_variance;
             if shards == *shard_counts.last().expect("non-empty") {
@@ -146,6 +149,31 @@ fn main() {
     }
 
     println!("{}", table.to_aligned_text());
+
+    // Machine-readable record of the sweep (schema in EXPERIMENTS.md,
+    // "Benchmark artifact schema"): merged into the same artifact the
+    // million_node example maintains, under `bench_shards_*` labels.
+    let mut bench_report = BenchReport::new("sharded_engine", &bench::git_revision());
+    for (i, &shards) in shard_counts.iter().enumerate() {
+        bench_report.push(BenchRun {
+            label: format!("bench_shards_{shards}"),
+            nodes,
+            shards,
+            workers: sharded_workers[i],
+            cycles,
+            elapsed_s: sharded_elapsed[i],
+            cycles_per_s: cycles as f64 / sharded_elapsed[i],
+            exchanges_per_s: sharded_exchanges[i] as f64 / sharded_elapsed[i],
+        });
+    }
+    bench_report.peak_rss_bytes = bench::peak_rss_bytes();
+    let bench_out =
+        std::env::var("GOSSIP_BENCH_OUT").unwrap_or_else(|_| "BENCH_sharded_engine.json".into());
+    if let Err(e) = bench_report.merge_into_file(&bench_out) {
+        eprintln!("could not write {bench_out}: {e}");
+    } else {
+        println!("benchmark report merged into {bench_out}");
+    }
 
     std::fs::create_dir_all("target").ok();
     if let Err(e) = table.write_csv("target/sharded_engine.csv") {

@@ -136,6 +136,18 @@ impl EpochManager {
         self.waiting_cycles == 0 && !self.entered_mid_epoch
     }
 
+    /// Writes back an epoch position recorded by an external dense mirror
+    /// (the sharded engine's struct-of-arrays hot store ticks epochs for
+    /// steady-state nodes outside the `ProtocolNode` and syncs through this
+    /// on demand). The caller guarantees the manager is in the participating
+    /// steady state — not waiting, not entered mid-epoch — so only the
+    /// position fields need restoring.
+    pub fn restore_position(&mut self, epoch: u64, cycle_in_epoch: u32) {
+        debug_assert!(self.waiting_cycles == 0 && !self.entered_mid_epoch);
+        self.current_epoch = epoch;
+        self.cycle_in_epoch = cycle_in_epoch;
+    }
+
     /// Registers the completion of one protocol cycle.
     ///
     /// While the node is still waiting for its first epoch this only counts

@@ -26,6 +26,7 @@
 //! stays independent of any particular RNG or failure model; the closure is
 //! consulted once per push and once per produced reply, in message order.
 
+use crate::aggregate::AggregateKind;
 use crate::node::ProtocolNode;
 use crate::protocol::GossipMessage;
 use overlay_topology::NodeId;
@@ -146,6 +147,42 @@ impl ExchangeCore {
         Self::complete(initiator, &scratch.replies);
     }
 
+    /// The fused fast path over raw state words, for engines that keep hot
+    /// nodes in dense struct-of-arrays storage instead of [`ProtocolNode`]s.
+    ///
+    /// Performs exactly the post-precondition body of the fused path inside
+    /// [`ExchangeCore::exchange`] — same arithmetic, same loss-draw order,
+    /// same tallies — on `(state, exchanges)` pairs the caller has already
+    /// verified to belong to two *distinct* nodes that both participate, share
+    /// an epoch, and (for the initiator) run only the default instance. The
+    /// determinism suite pins this bit-identical to the node-based path.
+    #[inline]
+    pub fn exchange_fused_raw(
+        kind: AggregateKind,
+        initiator_state: &mut f64,
+        initiator_exchanges: &mut u32,
+        peer_state: &mut f64,
+        peer_exchanges: &mut u32,
+        lost: &mut impl FnMut() -> bool,
+        tally: &mut ExchangeTally,
+    ) {
+        tally.exchanges += 1;
+        if lost() {
+            tally.messages_lost += 1;
+            return;
+        }
+        let pushed = *initiator_state;
+        let replied = *peer_state;
+        *peer_state = kind.merge_values(*peer_state, pushed);
+        *peer_exchanges += 1;
+        if lost() {
+            tally.messages_lost += 1;
+            return;
+        }
+        *initiator_state = kind.merge_values(*initiator_state, replied);
+        *initiator_exchanges += 1;
+    }
+
     /// The fused single-instance fast path. Returns `false` (doing nothing)
     /// when the preconditions do not hold and the caller must run the message
     /// path.
@@ -227,6 +264,49 @@ mod tests {
             a1.estimate().unwrap().to_bits(),
             a2.estimate().unwrap().to_bits()
         );
+    }
+
+    #[test]
+    fn raw_fused_path_matches_node_fused_path_bitwise() {
+        use crate::aggregate::AggregateKind;
+        // Every loss pattern the two draws can produce, checked against the
+        // node-based fused path on identical starting state.
+        for pattern in [vec![false, false], vec![true], vec![false, true]] {
+            let mut a = node(0, 3.25);
+            let mut b = node(1, -1.5);
+            let mut tally = ExchangeTally::default();
+            let mut scratch = ExchangeScratch::new();
+            let mut draws = pattern.clone().into_iter();
+            ExchangeCore::exchange(
+                &mut a,
+                &mut b,
+                &mut scratch,
+                &mut move || draws.next().unwrap(),
+                &mut tally,
+            );
+
+            let (mut sa, mut sb) = (3.25_f64, -1.5_f64);
+            let (mut xa, mut xb) = (0_u32, 0_u32);
+            let mut raw_tally = ExchangeTally::default();
+            let mut draws = pattern.into_iter();
+            ExchangeCore::exchange_fused_raw(
+                AggregateKind::Average,
+                &mut sa,
+                &mut xa,
+                &mut sb,
+                &mut xb,
+                &mut move || draws.next().unwrap(),
+                &mut raw_tally,
+            );
+
+            assert_eq!(tally, raw_tally);
+            assert_eq!(a.estimate().unwrap().to_bits(), sa.to_bits());
+            assert_eq!(b.estimate().unwrap().to_bits(), sb.to_bits());
+            let view_a = a.hot_view().expect("steady-state node is hot");
+            let view_b = b.hot_view().expect("steady-state node is hot");
+            assert_eq!(view_a.exchanges, xa);
+            assert_eq!(view_b.exchanges, xb);
+        }
     }
 
     #[test]

@@ -92,7 +92,7 @@ pub use config::{LateJoinPolicy, ProtocolConfig};
 pub use effects::{Clock, EntropySource, SeedSequence, SystemClock, VirtualClock};
 pub use error::AggregationError;
 pub use exchange::{ExchangeCore, ExchangeScratch, ExchangeTally};
-pub use node::{EpochResult, ProtocolNode};
+pub use node::{EpochResult, HotView, ProtocolNode};
 pub use protocol::{AggregationInstance, GossipMessage, InstanceTag};
 pub use sampler::{PeerSampler, SamplerConfig, SamplerDirectory, UniformSampler};
 pub use selectors::{PairSelector, SelectorKind};

@@ -44,6 +44,23 @@ impl EpochResult {
     }
 }
 
+/// The four words of state that completely describe a *hot* node — one that
+/// participates, has been in its current epoch from the first cycle, and runs
+/// only the default aggregation instance. The sharded engine's
+/// struct-of-arrays store keeps exactly this per node and syncs it back into
+/// the full [`ProtocolNode`] only when the node leaves the hot set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HotView {
+    /// Running approximation of the default instance.
+    pub state: f64,
+    /// Epoch the node currently executes.
+    pub epoch: u64,
+    /// Cycles completed in the current epoch.
+    pub cycle_in_epoch: u32,
+    /// Exchanges the default instance has completed this epoch.
+    pub exchanges: u32,
+}
+
 /// The complete protocol state of one node.
 ///
 /// # Example
@@ -229,6 +246,41 @@ impl ProtocolNode {
     /// cycle.
     pub fn participated_from_epoch_start(&self) -> bool {
         self.epochs.participated_from_epoch_start()
+    }
+
+    /// Snapshot of the state a dense struct-of-arrays mirror needs to take a
+    /// steady-state node out of the `ProtocolNode` representation entirely.
+    ///
+    /// Returns `Some` exactly when the node is *hot*: participating, present
+    /// since the start of its current epoch, and running only the default
+    /// instance. Such a node's per-cycle behaviour is fully described by four
+    /// words — everything else (join waits, mid-epoch jumps, led
+    /// size-estimation instances) stays on the cold `ProtocolNode` path.
+    pub fn hot_view(&self) -> Option<HotView> {
+        if self.epochs.can_participate()
+            && self.epochs.participated_from_epoch_start()
+            && self.led_instances.is_empty()
+        {
+            Some(HotView {
+                state: self.default_instance.state(),
+                epoch: self.epochs.current_epoch(),
+                cycle_in_epoch: self.epochs.cycle_in_epoch(),
+                exchanges: self.default_instance.exchanges(),
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Writes a [`HotView`] back into the node, restoring the default
+    /// instance's running state and the epoch position that the dense mirror
+    /// advanced on the node's behalf. Only valid on a node whose last
+    /// synchronised state was hot (the mirror never adopts any other kind).
+    pub fn restore_hot_view(&mut self, view: HotView) {
+        self.default_instance
+            .restore_hot(view.epoch, view.state, view.exchanges);
+        self.epochs
+            .restore_position(view.epoch, view.cycle_in_epoch);
     }
 
     /// Starts (or restarts) an extra aggregation instance led by this node,

@@ -225,6 +225,17 @@ impl AggregationInstance {
         self.exchanges = 0;
     }
 
+    /// Writes back the hot fields mirrored by an external dense store (see
+    /// [`crate::node::ProtocolNode::restore_hot_view`]): running state, epoch
+    /// and exchange counter in one call, leaving the kind and local value
+    /// untouched. Equivalent to replaying the mirrored exchanges and epoch
+    /// restarts on this instance.
+    pub fn restore_hot(&mut self, epoch: u64, state: f64, exchanges: u32) {
+        self.epoch = epoch;
+        self.state = state;
+        self.exchanges = exchanges;
+    }
+
     /// Overwrites the running approximation in place, leaving the local
     /// value, epoch and exchange counter untouched.
     ///

@@ -52,6 +52,15 @@ pub trait FaultInjector: fmt::Debug {
     /// answers in any query order.
     fn link_blocked(&self, a: NodeId, b: NodeId) -> bool;
 
+    /// Whether [`FaultInjector::link_blocked`] can answer `true` at all in
+    /// the current cycle. A cheap once-per-cycle gate: engines driving
+    /// millions of peer picks per cycle skip the per-pick `link_blocked`
+    /// query entirely when this is `false`. The default conservatively
+    /// returns `true` (always consult `link_blocked`).
+    fn links_can_block(&self) -> bool {
+        true
+    }
+
     /// Number of nodes to crash at the start of the current cycle, given the
     /// current live count. The engine removes that many uniformly random
     /// live nodes through its churn path.
@@ -201,6 +210,10 @@ impl FaultInjector for PlanInjector {
             }
         }
         false
+    }
+
+    fn links_can_block(&self) -> bool {
+        self.has_link_faults || !self.active_partitions.is_empty()
     }
 
     fn crash_count(&mut self, live: usize) -> usize {

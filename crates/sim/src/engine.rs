@@ -17,6 +17,15 @@
 //! For the pure variance-reduction experiments of Figure 3 the lighter
 //! whole-network `AVG` algorithm in [`aggregate_core::avg`] is used instead
 //! (same mathematics, no message objects); see [`crate::runner`].
+//!
+//! This engine deliberately stays on the per-node message path and does
+//! *not* adopt the struct-of-arrays fast path of the sharded engine
+//! ([`crate::soa`]): its role is to exercise the exact `begin` → `respond`
+//! → `complete` code a live transport runs (the wire-path identity pins in
+//! `tests/determinism.rs` depend on that), and message-object construction
+//! is precisely what the SoA layout batches away. Scale runs belong to
+//! [`crate::sharded::ShardedSimulation`]; this engine is the semantic
+//! reference it is pinned against.
 
 use crate::arena::NodeArena;
 use crate::sampling::{instantiate_sampler, ArenaDirectory};

@@ -65,6 +65,7 @@ pub mod robustness;
 pub mod runner;
 pub mod sampling;
 pub mod sharded;
+pub mod soa;
 mod values;
 
 pub use churn::ChurnSchedule;

@@ -53,11 +53,14 @@
 
 use crate::arena::{IdLayout, NodeArena, MAX_SHARDS};
 use crate::sampling::instantiate_sampler;
+use crate::soa::{self, HotStore, WordBuffer};
 use crate::{SeedSequence, SimConfigError, SimulationConfig};
-use aggregate_core::node::ProtocolNode;
+use aggregate_core::node::{HotView, ProtocolNode};
 use aggregate_core::sampler::{sample_live_peer, PeerSampler, SamplerConfig, SamplerDirectory};
 use aggregate_core::size_estimation;
-use aggregate_core::{ExchangeCore, ExchangeScratch, ExchangeTally, GossipMessage, InstanceTag};
+use aggregate_core::{
+    AggregateKind, ExchangeCore, ExchangeScratch, ExchangeTally, GossipMessage, InstanceTag,
+};
 use gossip_analysis::OnlineStats;
 use gossip_faults::{FaultInjector, FaultPlan, PlanInjector};
 use overlay_topology::NodeId;
@@ -235,6 +238,11 @@ struct Shard {
     arena: NodeArena,
     /// Per slot: position of the occupant in the global live directory.
     global_pos: Vec<u32>,
+    /// The struct-of-arrays mirror of this shard's *hot* nodes (see
+    /// [`crate::soa`]): while the single-worker SoA executor is resident,
+    /// hot records are authoritative and the matching `ProtocolNode`s are
+    /// stale until synced back at a flush point.
+    hot: HotStore,
 }
 
 /// The sharded engine's [`SamplerDirectory`]: positions are the global live
@@ -278,6 +286,35 @@ impl Shard {
         }
         self.global_pos[slot] = pos;
     }
+
+    /// Writes a hot record back into its `ProtocolNode`, bringing the node in
+    /// sync with the mirror. The record stays hot (it still equals the node);
+    /// callers that are about to mutate the node must [`Shard::resync_slot`]
+    /// afterwards.
+    fn flush_hot_slot(&mut self, slot: u32) {
+        let Some(view) = self.hot.view(slot) else {
+            return;
+        };
+        if let Some(node) = self.arena.node_at_slot_mut(slot) {
+            node.restore_hot_view(view);
+        }
+    }
+
+    /// Re-derives `slot`'s mirror record from its `ProtocolNode`: promoted if
+    /// the node is currently hot, demoted to cold otherwise.
+    fn resync_slot(&mut self, slot: u32, kind: AggregateKind) {
+        let Some(node) = self.arena.node_at_slot(slot) else {
+            self.hot.mark_cold(slot);
+            return;
+        };
+        match node.hot_view() {
+            Some(view) => {
+                let restart = kind.init_value(node.local_value());
+                self.hot.promote(slot, view, restart);
+            }
+            None => self.hot.mark_cold(slot),
+        }
+    }
 }
 
 /// Per-shard, per-cycle output, merged by the coordinator in shard order.
@@ -309,6 +346,21 @@ pub struct ShardedSimulation {
     last_size_estimate: Option<f64>,
     shard_exchange_totals: Vec<usize>,
     sched: ScheduleBuffers,
+    /// Whether the per-shard [`HotStore`]s currently hold the authoritative
+    /// state of the hot nodes (single-worker SoA executor). While `true`,
+    /// every read or node-path mutation of a hot node must go through a
+    /// flush/resync; `flush_soa` drops back to all-node representation.
+    soa_resident: bool,
+    /// Reusable shuffle buffer for the SoA executor: one `u64` per live node
+    /// carrying `directory_position << 32 | packed_endpoint`, so after the
+    /// shuffle both the rejection compare (high half) and the initiator's
+    /// shard/slot (low half) come from the entry itself — no random
+    /// directory lookup per initiator.
+    soa_order: Vec<u64>,
+    /// Reusable packed mirror of `global_live` (`shard << 24 | slot` per
+    /// directory position) for candidate lookups — half the miss footprint of
+    /// the 8-byte `NodeId` directory.
+    soa_packed: Vec<u32>,
     /// The peer-sampling layer. Sampling happens exclusively in the
     /// coordinator pass (schedule construction), never on worker threads, so
     /// one sampler serves every shard and both determinism invariants —
@@ -384,6 +436,7 @@ impl ShardedSimulation {
             .map(|s| Shard {
                 arena: NodeArena::with_layout(IdLayout::sharded(s as u32)),
                 global_pos: Vec::new(),
+                hot: HotStore::default(),
             })
             .collect();
         let mut global_live = Vec::with_capacity(initial_values.len());
@@ -414,6 +467,9 @@ impl ShardedSimulation {
             last_size_estimate: None,
             shard_exchange_totals: vec![0; shard_count],
             sched: ScheduleBuffers::default(),
+            soa_resident: false,
+            soa_order: Vec::new(),
+            soa_packed: Vec::new(),
             sampler,
             injector,
         };
@@ -471,30 +527,47 @@ impl ShardedSimulation {
 
     /// Read access to a node. Returns `None` for departed nodes and stale
     /// identifiers.
-    pub fn node(&self, id: NodeId) -> Option<&ProtocolNode> {
+    ///
+    /// Takes `&mut self` because the node may currently be mirrored in the
+    /// struct-of-arrays hot store (single-worker executor); the mirror is
+    /// flushed into the node first so the returned view is never stale.
+    pub fn node(&mut self, id: NodeId) -> Option<&ProtocolNode> {
         let shard = IdLayout::shard_of(id) as usize;
-        self.shards.get(shard)?.arena.get(id)
+        let shard = self.shards.get_mut(shard)?;
+        shard.flush_hot_slot(IdLayout::sharded_slot_of(id));
+        shard.arena.get(id)
     }
 
     /// Current default-instance estimates of all live nodes, in global
     /// directory order — a shard-count invariant ordering, which is what
     /// lets the determinism suite compare runs across shard counts
-    /// bit-for-bit.
+    /// bit-for-bit. Hot nodes are read straight from the dense mirror
+    /// (`estimate_value` over the mirrored state is bit-identical to the
+    /// node-side estimate).
     pub fn estimates(&self) -> Vec<f64> {
+        let kind = self.config.base.protocol.aggregate();
         self.global_live
             .iter()
-            .filter_map(|&id| self.node(id))
-            .filter_map(|node| node.estimate())
+            .filter_map(|&id| {
+                let shard = self.shards.get(IdLayout::shard_of(id) as usize)?;
+                if let Some(record) = shard.hot.hot(IdLayout::sharded_slot_of(id)) {
+                    return Some(kind.estimate_value(record.state));
+                }
+                shard.arena.get(id).and_then(|node| node.estimate())
+            })
             .collect()
     }
 
     /// Current local attribute values of all live nodes, in global directory
-    /// order.
+    /// order. Local values are never mirrored (the engine exposes no way to
+    /// change them), so this reads the nodes directly.
     pub fn local_values(&self) -> Vec<f64> {
         self.global_live
             .iter()
-            .filter_map(|&id| self.node(id))
-            .map(|node| node.local_value())
+            .filter_map(|&id| {
+                let shard = self.shards.get(IdLayout::shard_of(id) as usize)?;
+                shard.arena.get(id).map(|node| node.local_value())
+            })
             .collect()
     }
 
@@ -516,6 +589,9 @@ impl ShardedSimulation {
         let (id, slot) = shard.arena.insert_at(|id| {
             ProtocolNode::joining(id, protocol, local_value, next_epoch, cycles_until_start)
         });
+        // A joining node waits for its epoch — never hot; the slot may be a
+        // reused one carrying a stale hot record.
+        shard.hot.mark_cold(slot);
         shard.set_global_pos(slot, self.global_live.len() as u32);
         self.global_live.push(id);
         let ShardedSimulation {
@@ -545,6 +621,8 @@ impl ShardedSimulation {
             return false;
         }
         let slot = IdLayout::sharded_slot_of(id);
+        // The departed node's state vanishes with it: no flush, just hygiene.
+        self.shards[shard].hot.mark_cold(slot);
         let pos = self.shards[shard].global_pos[slot as usize];
         self.remove_global_at(pos as usize);
         self.sampler.on_depart(id);
@@ -565,6 +643,7 @@ impl ShardedSimulation {
             let shard = IdLayout::shard_of(id) as usize;
             let slot = IdLayout::sharded_slot_of(id);
             self.shards[shard].arena.remove_slot_checked(slot);
+            self.shards[shard].hot.mark_cold(slot);
             self.remove_global_at(pos);
             self.sampler.on_depart(id);
             removed += 1;
@@ -614,9 +693,18 @@ impl ShardedSimulation {
         }
         for (pos, value) in self.injector.corruptions(self.global_live.len()) {
             let id = self.global_live[pos];
-            let shard = IdLayout::shard_of(id) as usize;
-            if let Some(node) = self.shards[shard].arena.get_mut(id) {
-                node.corrupt_estimate(value);
+            let shard = &mut self.shards[IdLayout::shard_of(id) as usize];
+            let slot = IdLayout::sharded_slot_of(id) as usize;
+            // A hot node's authoritative state lives in the mirror;
+            // `corrupt_estimate` only overwrites the running approximation,
+            // which is exactly the mirrored word.
+            match shard.hot.slots.get_mut(slot).filter(|r| r.is_hot()) {
+                Some(record) => record.state = value,
+                None => {
+                    if let Some(node) = shard.arena.get_mut(id) {
+                        node.corrupt_estimate(value);
+                    }
+                }
             }
         }
         let loss = self.injector.loss_probability();
@@ -637,8 +725,14 @@ impl ShardedSimulation {
             });
         }
         let (outs, exchanges_blocked) = if self.effective_workers() == 1 {
-            self.run_cycle_sequential(loss)
+            if self.soa_allowed() {
+                self.ensure_soa_resident();
+                self.run_cycle_sequential_soa(loss)
+            } else {
+                self.run_cycle_sequential(loss)
+            }
         } else {
+            self.flush_soa();
             self.run_cycle_threaded(loss)
         };
 
@@ -823,6 +917,299 @@ impl ShardedSimulation {
         (outs, exchanges_blocked)
     }
 
+    /// Whether the struct-of-arrays executor may run: its inline peer picks
+    /// replicate exactly the uniform complete-membership sampler; overlay and
+    /// NEWSCAST samplers keep the node-path executors.
+    fn soa_allowed(&self) -> bool {
+        matches!(self.sampler.config(), SamplerConfig::UniformComplete)
+    }
+
+    /// Loads every currently-hot node into the per-shard dense mirrors and
+    /// marks the mirrors authoritative. One streaming pass; a no-op while
+    /// already resident.
+    fn ensure_soa_resident(&mut self) {
+        if self.soa_resident {
+            return;
+        }
+        let kind = self.config.base.protocol.aggregate();
+        for shard in &mut self.shards {
+            for pos in 0..shard.arena.len() {
+                let slot = shard.arena.live_slots()[pos];
+                shard.resync_slot(slot, kind);
+            }
+        }
+        self.soa_resident = true;
+    }
+
+    /// Writes every hot record back into its `ProtocolNode` and drops to the
+    /// all-node representation (threaded executor entry, leader elections).
+    fn flush_soa(&mut self) {
+        if !self.soa_resident {
+            return;
+        }
+        for shard in &mut self.shards {
+            for slot in 0..shard.hot.slots.len() as u32 {
+                if shard.hot.slots[slot as usize].is_hot() {
+                    shard.flush_hot_slot(slot);
+                    shard.hot.mark_cold(slot);
+                }
+            }
+        }
+        self.soa_resident = false;
+    }
+
+    /// Single-worker struct-of-arrays executor: same schedule, same draws,
+    /// same arithmetic as [`ShardedSimulation::run_cycle_sequential`] — the
+    /// determinism suite pins the bit-identity — but the steady-state work
+    /// runs over the dense per-shard [`HotStore`]s:
+    ///
+    /// * the initiator shuffle and the peer picks consume the
+    ///   `cycle-schedule` stream through block-buffered raw words
+    ///   ([`soa::shuffle_batched`] / [`WordBuffer`]), with the uniform
+    ///   sampler's pick loop inlined — zero virtual calls per pick;
+    /// * per-exchange loss coins are pre-drawn per block from the
+    ///   `cycle-loss` stream via [`SeedSequence::fill_block`] (each
+    ///   exchange's coins still come from its own `seed_for_run(seq)`
+    ///   stream, in draw order — bit-identical to the lazy closure);
+    /// * an exchange between two hot nodes in the same epoch runs
+    ///   [`ExchangeCore::exchange_fused_raw`] over two 24-byte records — one
+    ///   cache line per endpoint instead of two-plus; any other exchange
+    ///   flushes its endpoints and takes the node path, then resyncs.
+    fn run_cycle_sequential_soa(&mut self, loss: f64) -> (Vec<ShardCycleOut>, usize) {
+        let shard_count = self.config.shards;
+        let kind = self.config.base.protocol.aggregate();
+        let cycles_per_epoch = self.config.base.protocol.cycles_per_epoch();
+        let lossy = loss > 0.0;
+        let loss_seeds =
+            // stream: per-exchange message-loss coins, re-derived each cycle
+            SeedSequence::new(self.seeds.seed_for_labeled(self.cycle as u64, "cycle-loss"));
+        let n = self.global_live.len();
+        let mut rng = self
+            .seeds
+            // stream: per-cycle initiator shuffle and peer picks
+            .rng_for_labeled(self.cycle as u64, "cycle-schedule");
+
+        // Packed directory mirror (candidate lookups touch 4 bytes per miss
+        // instead of 8), then the shuffle entries: position in the high half
+        // for the sampler's self-rejection compare, packed endpoint in the
+        // low half so the initiator's shard/slot ride along through the
+        // shuffle for free. The Fisher–Yates swap sequence is a function of
+        // the drawn words and the length only, so shuffling these u64
+        // entries applies the exact permutation the reference executor's
+        // u32 position shuffle applies.
+        let packed_dir = &mut self.soa_packed;
+        packed_dir.clear();
+        packed_dir.extend(self.global_live.iter().map(|&id| pack_endpoint(id)));
+        let order = &mut self.soa_order;
+        order.clear();
+        order.extend(
+            packed_dir
+                .iter()
+                .enumerate()
+                .map(|(pos, &packed)| ((pos as u64) << 32) | u64::from(packed)),
+        );
+        soa::shuffle_batched(order, &mut rng);
+
+        let mut tallies = vec![ExchangeTally::default(); shard_count];
+        let mut exchanges_blocked = 0usize;
+        let mut scratch = ExchangeScratch::new();
+        let shards = &mut self.shards;
+        let global_live = &self.global_live;
+        let sampler = &mut self.sampler;
+        let injector = &self.injector;
+
+        // One fused pipeline per block of initiators: draw the block's peer
+        // picks and touch the candidate directory lines; resolve the pairs
+        // (link vetoes) and touch every endpoint's hot record; pre-draw the
+        // block's loss coins; execute from cache. Each stage issues a
+        // block's worth of independent loads, so the misses overlap instead
+        // of serialising — at 10⁷ nodes every random access is a DRAM miss
+        // and this overlap is the whole game.
+        //
+        // Draw-stream order is untouched: pick words are consumed in
+        // initiator order across blocks (the rejection loop — re-draw while
+        // the candidate is the initiator — is the uniform sampler's,
+        // inlined; directory picks are live by construction, so
+        // `sample_live_peer` adds nothing further). The link veto runs only
+        // when the fault lab can block links this cycle (`links_can_block`)
+        // and moves *between* the block's draws and its executions — legal
+        // because `link_blocked` is pure and `peer_failed` is a no-op for
+        // the uniform sampler (the only sampler routed here).
+        // Four stages per block of initiators, each a tight loop so dozens
+        // of iterations fit the out-of-order window and the stage's random
+        // loads (every one a DRAM — and TLB — miss at 10⁷ nodes) overlap
+        // instead of serialising into a miss chain: draw the block's peer
+        // picks; touch their directory lines; resolve the pairs (link
+        // vetoes) and touch every endpoint's hot record; pre-draw the loss
+        // coins; execute from cache. (A deeper software pipeline that
+        // interleaved the stages across blocks in one master loop measured
+        // *slower* — the fat loop body starves the reorder buffer — so the
+        // simple staged form stands.)
+        const BLOCK: usize = 128;
+        let check_links = injector.links_can_block();
+        let mut words = WordBuffer::new();
+        let mut cand = [0u32; BLOCK];
+        let mut block_pairs = [(0u32, 0u32); BLOCK];
+        let mut coin_seeds = [0u64; BLOCK];
+        let mut coins = [(false, false); BLOCK];
+        let mut next_seq = 0usize;
+        let mut start = 0usize;
+        while n >= 2 && start < n {
+            let end = (start + BLOCK).min(n);
+            let count = end - start;
+            // Stage 1: the block's peer picks (the rejection compare uses
+            // only the entry's high half — no memory dependence), then the
+            // touch loop over the candidate directory lines.
+            for k in 0..count {
+                let ipos = (order[start + k] >> 32) as usize;
+                let mut candidate;
+                loop {
+                    candidate = soa::index_from_word(words.next(&mut rng), n);
+                    if candidate != ipos {
+                        break;
+                    }
+                }
+                cand[k] = candidate as u32;
+            }
+            let mut warm = 0u32;
+            for &candidate in &cand[..count] {
+                warm ^= packed_dir[candidate as usize];
+            }
+            std::hint::black_box(warm);
+            // Stage 2: resolve pairs (link vetoes — the veto moves between
+            // the block's draws and its executions, legal because
+            // `link_blocked` is pure and `peer_failed` is a no-op for the
+            // uniform sampler), then touch every endpoint's hot record in
+            // its own tight loop. The touch loads' values are discarded, so
+            // the cold path's flush/resync writes can never be made stale.
+            let mut survivors = 0usize;
+            for k in 0..count {
+                let entry = order[start + k];
+                let initiator = entry as u32;
+                let peer = packed_dir[cand[k] as usize];
+                if check_links {
+                    let initiator_id = global_live[(entry >> 32) as usize];
+                    let peer_id = global_live[cand[k] as usize];
+                    if injector.link_blocked(initiator_id, peer_id) {
+                        sampler.peer_failed(initiator_id, peer_id);
+                        exchanges_blocked += 1;
+                        continue;
+                    }
+                }
+                block_pairs[survivors] = (initiator, peer);
+                survivors += 1;
+            }
+            let mut warm = 0u32;
+            for &(a, b) in &block_pairs[..survivors] {
+                let (shard_a, slot_a) = unpack_endpoint(a);
+                let (shard_b, slot_b) = unpack_endpoint(b);
+                if let Some(record) = shards[shard_a].hot.slots.get(slot_a as usize) {
+                    warm ^= record.key;
+                }
+                if let Some(record) = shards[shard_b].hot.slots.get(slot_b as usize) {
+                    warm ^= record.key;
+                }
+            }
+            std::hint::black_box(warm);
+            // Stage 3: the block's loss coins. Exchange sequence numbers are
+            // dense over survivors, exactly as the reference's pick loop
+            // hands them out.
+            if lossy {
+                loss_seeds.fill_block(next_seq as u64, &mut coin_seeds[..survivors]);
+                for (k, &seed) in coin_seeds[..survivors].iter().enumerate() {
+                    // Eagerly drawing both coins from the exchange's private
+                    // stream is invisible when only the first is consumed.
+                    let mut coin_rng = StdRng::seed_from_u64(seed);
+                    coins[k] = (coin_rng.gen_bool(loss), coin_rng.gen_bool(loss));
+                }
+            }
+            // Stage 4: execute from cache.
+            for (k, &(a, b)) in block_pairs[..survivors].iter().enumerate() {
+                let seq = next_seq + k;
+                let (shard_a, slot_a) = unpack_endpoint(a);
+                let (shard_b, slot_b) = unpack_endpoint(b);
+                let fused = {
+                    let ra = shards[shard_a].hot.hot(slot_a);
+                    let rb = shards[shard_b].hot.hot(slot_b);
+                    matches!((ra, rb), (Some(x), Some(y)) if x.key == y.key)
+                };
+                if fused {
+                    let (initiator, peer) = if shard_a == shard_b {
+                        shards[shard_a].hot.pair_mut(slot_a, slot_b)
+                    } else {
+                        let (sa, sb) = shard_pair_mut(shards, shard_a, shard_b);
+                        (
+                            &mut sa.hot.slots[slot_a as usize],
+                            &mut sb.hot.slots[slot_b as usize],
+                        )
+                    };
+                    let (c1, c2) = coins[k];
+                    let mut draw = 0u8;
+                    let mut lost = move || {
+                        draw += 1;
+                        if draw == 1 {
+                            c1
+                        } else {
+                            c2
+                        }
+                    };
+                    ExchangeCore::exchange_fused_raw(
+                        kind,
+                        &mut initiator.state,
+                        &mut initiator.exchanges,
+                        &mut peer.state,
+                        &mut peer.exchanges,
+                        &mut lost,
+                        &mut tallies[shard_a],
+                    );
+                } else {
+                    // Cold or cross-epoch endpoint: sync the nodes, run the
+                    // ordinary node-path exchange (which takes its own fused
+                    // fast path when the preconditions hold — bit-identical
+                    // arithmetic either way), then re-derive both records.
+                    shards[shard_a].flush_hot_slot(slot_a);
+                    shards[shard_b].flush_hot_slot(slot_b);
+                    let (initiator, peer) = if shard_a == shard_b {
+                        shards[shard_a].arena.pair_mut(slot_a, slot_b)
+                    } else {
+                        let (sa, sb) = shard_pair_mut(shards, shard_a, shard_b);
+                        (
+                            sa.arena.node_at_slot_mut(slot_a),
+                            sb.arena.node_at_slot_mut(slot_b),
+                        )
+                    };
+                    let (Some(initiator), Some(peer)) = (initiator, peer) else {
+                        continue;
+                    };
+                    let seed = if lossy {
+                        loss_seeds.seed_for_run(seq as u64)
+                    } else {
+                        0
+                    };
+                    let mut lost = exchange_loss(loss, seed);
+                    ExchangeCore::exchange(
+                        initiator,
+                        peer,
+                        &mut scratch,
+                        &mut lost,
+                        &mut tallies[shard_a],
+                    );
+                    shards[shard_a].resync_slot(slot_a, kind);
+                    shards[shard_b].resync_slot(slot_b, kind);
+                }
+            }
+            next_seq += survivors;
+            start = end;
+        }
+
+        let outs = shards
+            .iter_mut()
+            .zip(tallies)
+            .map(|(shard, tally)| end_of_cycle_pass_soa(shard, tally, kind, cycles_per_epoch))
+            .collect();
+        (outs, exchanges_blocked)
+    }
+
     /// Multi-worker executor: the deterministic round/mailbox protocol from
     /// the module docs, with the shards partitioned into contiguous chunks
     /// over the worker threads.
@@ -974,6 +1361,10 @@ impl ShardedSimulation {
         let Some(policy) = self.config.base.leader_policy else {
             return;
         };
+        // Elections read and mutate nodes directly; sync the mirror back
+        // first. Averaging-only runs (no leader policy) never reach this, so
+        // the hot store stays resident across their epoch boundaries.
+        self.flush_soa();
         let previous = self.last_size_estimate;
         // stream: epoch-boundary leader elections
         let mut rng = self.seeds.rng_for_labeled(self.elections, "election");
@@ -1048,6 +1439,19 @@ pub fn cycle_telemetry_table(
     table
 }
 
+/// Packs a node identifier's `(shard, slot)` into one word for the SoA
+/// executor's pair list: shard in the high byte, slot (20 bits) below.
+#[inline]
+fn pack_endpoint(id: NodeId) -> u32 {
+    (IdLayout::shard_of(id) << 24) | IdLayout::sharded_slot_of(id)
+}
+
+/// Inverse of [`pack_endpoint`].
+#[inline]
+fn unpack_endpoint(packed: u32) -> (usize, u32) {
+    ((packed >> 24) as usize, packed & 0x00ff_ffff)
+}
+
 /// Disjoint mutable borrows of two distinct shards.
 fn shard_pair_mut(shards: &mut [Shard], a: usize, b: usize) -> (&mut Shard, &mut Shard) {
     debug_assert_ne!(a, b);
@@ -1093,6 +1497,103 @@ fn end_of_cycle_pass(shard: &mut Shard, tally: ExchangeTally) -> ShardCycleOut {
         }
         if let Some(estimate) = node.estimate() {
             estimate_stats.push(estimate);
+        }
+    }
+    ShardCycleOut {
+        tally,
+        completed_epoch,
+        epoch_stats,
+        size_stats,
+        estimate_stats,
+    }
+}
+
+/// End-of-cycle phase of the struct-of-arrays executor: hot nodes tick,
+/// restart and report entirely inside the dense mirror; cold nodes take the
+/// ordinary [`end_of_cycle_pass`] branch and are re-examined for promotion
+/// afterwards (joining nodes whose epoch just started, ex-leaders whose led
+/// instances just cleared). Iteration order, stat-push order and epoch
+/// book-keeping replicate `ProtocolNode::end_cycle` exactly:
+///
+/// * a hot node participates from its epoch's start by definition, so a
+///   completing epoch always pushes its (pre-restart) default estimate;
+/// * a hot node runs only the default instance, so it never contributes a
+///   network-size estimate (`size_estimate_from_epoch` ignores the default
+///   instance — the size machinery is cold-path by construction);
+/// * the post-cycle estimate is pushed after the restart, exactly as
+///   `node.estimate()` reads post-`end_cycle` state.
+fn end_of_cycle_pass_soa(
+    shard: &mut Shard,
+    tally: ExchangeTally,
+    kind: AggregateKind,
+    cycles_per_epoch: u32,
+) -> ShardCycleOut {
+    let mut completed_epoch = None;
+    let mut epoch_stats = OnlineStats::new();
+    let mut size_stats = OnlineStats::new();
+    let mut estimate_stats = OnlineStats::new();
+    for pos in 0..shard.arena.len() {
+        let slot = shard.arena.live_slots()[pos];
+        let hot = shard.hot.hot(slot).is_some();
+        if hot {
+            let restart = shard.hot.restart[slot as usize];
+            let cycle = &mut shard.hot.cycles[slot as usize];
+            *cycle += 1;
+            let completing = *cycle >= cycles_per_epoch;
+            if completing {
+                *cycle = 0;
+            }
+            let record = &mut shard.hot.slots[slot as usize];
+            let mut overflow = false;
+            if completing {
+                completed_epoch = Some(match completed_epoch {
+                    Some(epoch) => std::cmp::max::<u64>(epoch, u64::from(record.key)),
+                    None => u64::from(record.key),
+                });
+                epoch_stats.push(kind.estimate_value(record.state));
+                record.state = restart;
+                record.exchanges = 0;
+                record.key += 1;
+                overflow = record.key == soa::COLD;
+            }
+            estimate_stats.push(kind.estimate_value(record.state));
+            if overflow {
+                // The new epoch is not representable in the 16-byte record
+                // (u32 epochs): hand the node back to the cold path.
+                // Unreachable in any real run, but cheap to keep correct.
+                let view = HotView {
+                    state: restart,
+                    epoch: u64::from(soa::COLD),
+                    cycle_in_epoch: 0,
+                    exchanges: 0,
+                };
+                shard.hot.mark_cold(slot);
+                if let Some(node) = shard.arena.node_at_slot_mut(slot) {
+                    node.restore_hot_view(view);
+                }
+            }
+        } else {
+            let Some(node) = shard.arena.node_at_slot_mut(slot) else {
+                continue;
+            };
+            if let Some(result) = node.end_cycle() {
+                completed_epoch = Some(match completed_epoch {
+                    Some(epoch) => std::cmp::max::<u64>(epoch, result.epoch),
+                    None => result.epoch,
+                });
+                if result.full_participation {
+                    if let Some(estimate) = result.default_estimate() {
+                        epoch_stats.push(estimate);
+                    }
+                    if let Some(size) = size_estimation::size_estimate_from_epoch(&result) {
+                        size_stats.push(size);
+                    }
+                }
+            }
+            if let Some(estimate) = node.estimate() {
+                estimate_stats.push(estimate);
+            }
+            shard.resync_slot(slot, kind);
         }
     }
     ShardCycleOut {

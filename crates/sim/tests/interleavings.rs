@@ -15,11 +15,20 @@
 //!    asserting bit-identical cycle summaries *and* per-node estimates;
 //! 3. repeated multi-worker runs against a sequential reference, so the OS
 //!    scheduler gets many chances to produce a novel interleaving and any
-//!    arrival-order dependence shows up as a bit diff.
+//!    arrival-order dependence shows up as a bit diff;
+//! 4. a permutation check over the struct-of-arrays fused merge, pinning
+//!    *why* the batched hot path may reorder its draws but must apply
+//!    exchanges in schedule order: disjoint pairs commute bitwise,
+//!    overlapping ones do not.
+//!
+//! The single-worker reference in (2) and (3) is the struct-of-arrays fused
+//! executor (uniform sampling, one worker), so those tests double as
+//! SoA-versus-threaded equivalence checks.
 
 use aggregate_core::sampler::SamplerConfig;
-use aggregate_core::ProtocolConfig;
+use aggregate_core::{AggregateKind, ExchangeCore, ExchangeTally, ProtocolConfig};
 use gossip_sim::sharded::{ShardedConfig, ShardedCycleSummary, ShardedSimulation};
+use gossip_sim::soa::{HotSlot, HotStore};
 use gossip_sim::{NetworkConditions, SimulationConfig};
 
 /// One cross-shard exchange batch as the mailbox protocol sees it: a global
@@ -160,6 +169,88 @@ fn seq_sorted_merge_is_invariant_under_all_arrival_orders() {
     assert!(
         arrival_order_diverged,
         "payloads must be order-sensitive, or this test proves nothing"
+    );
+}
+
+/// A dense hot store with order-sensitive states: catastrophic-cancellation
+/// magnitudes make every merge order observable in the low bits.
+fn dense_store(states: &[f64]) -> HotStore {
+    let mut store = HotStore::default();
+    store.ensure_slot(states.len() as u32 - 1);
+    for (slot, &state) in states.iter().enumerate() {
+        store.slots[slot] = HotSlot {
+            state,
+            key: 0,
+            exchanges: 0,
+        };
+    }
+    store
+}
+
+/// Applies a schedule of fused exchanges to the dense store, in order, and
+/// returns the resulting state/counter bit fingerprint.
+fn apply_dense(store: &mut HotStore, schedule: &[(u32, u32)]) -> u64 {
+    let mut tally = ExchangeTally::default();
+    for &(a, b) in schedule {
+        let (x, y) = store.pair_mut(a, b);
+        ExchangeCore::exchange_fused_raw(
+            AggregateKind::Average,
+            &mut x.state,
+            &mut x.exchanges,
+            &mut y.state,
+            &mut y.exchanges,
+            &mut || false,
+            &mut tally,
+        );
+    }
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for record in &store.slots {
+        for byte in record
+            .state
+            .to_bits()
+            .to_le_bytes()
+            .iter()
+            .chain(u64::from(record.exchanges).to_le_bytes().iter())
+        {
+            hash ^= u64::from(*byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    hash
+}
+
+/// Model check over the struct-of-arrays fused merge (the single-worker
+/// executor's hot path): exchanges touching **disjoint** slot pairs commute
+/// bitwise — any permutation of them produces the identical dense store —
+/// while exchanges **sharing** an endpoint do not, which is exactly why the
+/// SoA pipeline resolves and applies its batched schedule in the
+/// schedule-time sequence order (the same total order the mailbox merge
+/// restores by seq-sort on the threaded path).
+#[test]
+fn dense_fused_merge_commutes_exactly_for_disjoint_pairs_only() {
+    let states = [1.0e16, 1.0, 0.1, 3.25, -7.5, 1.0e-3];
+
+    // Disjoint pairs: every slot appears at most once per schedule.
+    let disjoint = [(0u32, 3u32), (1, 4), (2, 5)];
+    let reference = apply_dense(&mut dense_store(&states), &disjoint);
+    for schedule in permutations(&disjoint) {
+        let fp = apply_dense(&mut dense_store(&states), &schedule);
+        assert_eq!(
+            fp, reference,
+            "disjoint fused exchanges must commute bitwise: {schedule:?}"
+        );
+    }
+
+    // Overlapping pairs: slot 0 participates twice; at least one order must
+    // diverge, or the seq-order discipline would be vacuous.
+    let overlapping = [(0u32, 1u32), (0, 2), (3, 4)];
+    let reference = apply_dense(&mut dense_store(&states), &overlapping);
+    let diverged = permutations(&overlapping)
+        .into_iter()
+        .any(|schedule| apply_dense(&mut dense_store(&states), &schedule) != reference);
+    assert!(
+        diverged,
+        "overlapping exchanges must be order-sensitive, or this test proves nothing"
     );
 }
 

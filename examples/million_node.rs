@@ -2,52 +2,164 @@
 //!
 //! The paper's headline claim is that push–pull epidemic aggregation
 //! converges in a handful of cycles *independently of network size*. This
-//! example validates the claim at the 10⁶-node scale the paper targets: it
-//! runs one full 30-cycle epoch over a million nodes through
+//! example validates the claim at the 10⁶-node scale the paper targets (and
+//! at 10⁷ with `--full`): it runs one full epoch through
 //! [`ShardedSimulation`] and asserts the Section 3 convergence factor — the
 //! per-cycle variance-reduction rate of `GETPAIR_SEQ`, 1/(2√e) ≈ 0.303 —
 //! the same value the 1 000-node runs measure.
 //!
+//! Every run also records a machine-readable benchmark report (see
+//! `EXPERIMENTS.md`, "Benchmark artifact schema") so CI can gate on
+//! throughput regressions; by default it lands in
+//! `BENCH_sharded_engine.json` in the working directory — run from the
+//! repository root to refresh the committed artifact.
+//!
 //! Run with:
 //!
 //! ```text
-//! cargo run --release --example million_node                     # 10⁶ nodes, 30 cycles
-//! cargo run --release --example million_node -- --nodes 100000 --shards 4   # CI smoke scale
-//! cargo run --release --example million_node -- --baseline      # + single-threaded comparison
-//! cargo run --release --example million_node -- --csv out.csv   # record per-cycle telemetry
+//! cargo run --release --example million_node                   # 10⁶ nodes, 30 cycles
+//! cargo run --release --example million_node -- --full         # 10⁷ nodes, 16 shards
+//! cargo run --release --example million_node -- --nodes 100000 --shards 4  # CI smoke scale
+//! cargo run --release --example million_node -- --workers 4    # pin the worker pool
+//! cargo run --release --example million_node -- --sweep-workers  # 1→8 strong-scaling curve
+//! cargo run --release --example million_node -- --baseline     # + single-threaded comparison
+//! cargo run --release --example million_node -- --csv out.csv  # record per-cycle telemetry
+//! cargo run --release --example million_node -- --label ci_smoke \
+//!     --assert-baseline BENCH_sharded_engine.json              # regression gate
 //! ```
+//!
+//! The `--full` run asserts a wall-clock budget (default 90 s, override
+//! with `GOSSIP_FULL_BUDGET_S`); the regression gate tolerance defaults to
+//! 20 % (`GOSSIP_BENCH_TOLERANCE`).
 
 use epidemic_aggregation::prelude::*;
+use gossip_analysis::bench::{self, BenchReport, BenchRun};
 use gossip_sim::sharded::cycle_telemetry_table;
 use std::time::Instant;
 
-fn parse_args() -> (usize, usize, usize, Option<String>, bool) {
-    let mut nodes = 1_000_000usize;
-    let mut shards = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-        .min(gossip_sim::arena::MAX_SHARDS);
-    let mut cycles = 30usize;
-    let mut csv = None;
-    let mut baseline = false;
+struct Args {
+    nodes: usize,
+    shards: usize,
+    workers: Option<usize>,
+    cycles: usize,
+    csv: Option<String>,
+    baseline: bool,
+    full: bool,
+    sweep_workers: bool,
+    label: Option<String>,
+    bench_out: String,
+    assert_baseline: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut parsed = Args {
+        nodes: 1_000_000,
+        shards: std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            .min(gossip_sim::arena::MAX_SHARDS),
+        workers: None,
+        cycles: 30,
+        csv: None,
+        baseline: false,
+        full: false,
+        sweep_workers: false,
+        label: None,
+        bench_out: "BENCH_sharded_engine.json".to_string(),
+        assert_baseline: None,
+    };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--nodes" => nodes = args.next().and_then(|v| v.parse().ok()).unwrap_or(nodes),
-            "--shards" => shards = args.next().and_then(|v| v.parse().ok()).unwrap_or(shards),
-            "--cycles" => cycles = args.next().and_then(|v| v.parse().ok()).unwrap_or(cycles),
-            "--csv" => csv = args.next(),
-            "--baseline" => baseline = true,
+            "--nodes" => {
+                parsed.nodes = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(parsed.nodes)
+            }
+            "--shards" => {
+                parsed.shards = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(parsed.shards)
+            }
+            "--workers" => parsed.workers = args.next().and_then(|v| v.parse().ok()),
+            "--cycles" => {
+                parsed.cycles = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(parsed.cycles)
+            }
+            "--csv" => parsed.csv = args.next(),
+            "--baseline" => parsed.baseline = true,
+            "--full" => parsed.full = true,
+            "--sweep-workers" => parsed.sweep_workers = true,
+            "--label" => parsed.label = args.next(),
+            "--bench-out" => {
+                if let Some(path) = args.next() {
+                    parsed.bench_out = path;
+                }
+            }
+            "--assert-baseline" => parsed.assert_baseline = args.next(),
             other => {
                 eprintln!("ignoring unknown argument {other}");
             }
         }
     }
-    (nodes, shards, cycles, csv, baseline)
+    if parsed.full {
+        // The tentpole configuration: 10⁷ nodes, 16 shards, one 30-cycle
+        // epoch. Explicit --nodes/--shards/--cycles still override.
+        parsed.nodes = 10_000_000;
+        parsed.shards = 16;
+    }
+    parsed
+}
+
+fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// One measured engine run.
+struct EngineRun {
+    elapsed: f64,
+    exchanges: usize,
+    workers: usize,
+    summaries: Vec<gossip_sim::ShardedCycleSummary>,
+}
+
+fn run_engine(
+    base: SimulationConfig,
+    values: &[f64],
+    seed: u64,
+    shards: usize,
+    workers: Option<usize>,
+    cycles: usize,
+) -> Result<EngineRun, Box<dyn std::error::Error>> {
+    let config = ShardedConfig {
+        base,
+        shards,
+        workers,
+    };
+    let mut sim = ShardedSimulation::new(config, values, seed)?;
+    let effective = sim.effective_workers();
+    let started = Instant::now();
+    let summaries = sim.run(cycles);
+    let elapsed = started.elapsed().as_secs_f64();
+    let exchanges = summaries.iter().map(|s| s.exchanges).sum::<usize>();
+    Ok(EngineRun {
+        elapsed,
+        exchanges,
+        workers: effective,
+        summaries,
+    })
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let (nodes, shards, cycles, csv, baseline) = parse_args();
+    let args = parse_args();
+    let (nodes, shards, cycles) = (args.nodes, args.shards, args.cycles);
     assert!(cycles >= 3, "need a few cycles to measure a reduction rate");
     let seed = 20040102;
     println!("million_node: {nodes} nodes, {shards} shards, {cycles} cycles (one epoch)");
@@ -59,22 +171,48 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let protocol = ProtocolConfig::builder()
         .cycles_per_epoch(cycles as u32)
         .build()?;
-    let config = ShardedConfig {
-        base: SimulationConfig::averaging(protocol),
-        shards,
-        workers: None,
-    };
-    let mut sim = ShardedSimulation::new(config, &values, seed)?;
-
-    let started = Instant::now();
-    let summaries = sim.run(cycles);
-    let elapsed = started.elapsed().as_secs_f64();
+    let base = SimulationConfig::averaging(protocol);
+    let EngineRun {
+        elapsed,
+        exchanges,
+        workers,
+        summaries,
+    } = run_engine(base, &values, seed, shards, args.workers, cycles)?;
     let sharded_rate = cycles as f64 / elapsed;
     println!(
-        "sharded engine: {elapsed:.2} s for {cycles} cycles at {nodes} nodes \
-         ({sharded_rate:.2} cycles/s, {:.1} M exchanges/s)",
-        summaries.iter().map(|s| s.exchanges).sum::<usize>() as f64 / elapsed / 1e6
+        "sharded engine: {elapsed:.2} s for {cycles} cycles at {nodes} nodes, \
+         {workers} worker(s) ({sharded_rate:.2} cycles/s, {:.1} M exchanges/s)",
+        exchanges as f64 / elapsed / 1e6
     );
+
+    let mut report = BenchReport::new("million_node", &bench::git_revision());
+    let label = args.label.unwrap_or_else(|| {
+        if args.full {
+            "full_10m".to_string()
+        } else {
+            format!("nodes_{nodes}")
+        }
+    });
+    report.push(BenchRun {
+        label,
+        nodes,
+        shards,
+        workers,
+        cycles,
+        elapsed_s: elapsed,
+        cycles_per_s: sharded_rate,
+        exchanges_per_s: exchanges as f64 / elapsed,
+    });
+
+    if args.full {
+        let budget = env_f64("GOSSIP_FULL_BUDGET_S", 90.0);
+        assert!(
+            elapsed <= budget,
+            "full 10^7-node epoch took {elapsed:.1} s, over the {budget:.0} s budget \
+             (override with GOSSIP_FULL_BUDGET_S)"
+        );
+        println!("full epoch wall clock {elapsed:.1} s within budget {budget:.0} s");
+    }
 
     // Section 3: the per-cycle variance-reduction factor of GETPAIR_SEQ.
     // The last cycle completes the epoch (instances restart before its
@@ -122,12 +260,50 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "after {cycles} cycles all {nodes} estimates must agree closely, spread {spread}"
     );
 
-    if let Some(path) = csv {
-        cycle_telemetry_table(&summaries, sim.sampler_config()).write_csv(&path)?;
+    if let Some(path) = args.csv {
+        cycle_telemetry_table(&summaries, SamplerConfig::UniformComplete).write_csv(&path)?;
         println!("per-cycle telemetry written to {path}");
     }
 
-    if baseline {
+    if args.sweep_workers {
+        // Strong-scaling curve: the same workload pinned to 1/2/4/8 worker
+        // threads. Worker count never changes results — only wall clock —
+        // so every sweep point must land on bit-identical statistics.
+        println!("worker sweep at {nodes} nodes, {shards} shards:");
+        for requested in [1usize, 2, 4, 8] {
+            let sweep = run_engine(base, &values, seed, shards, Some(requested), cycles)?;
+            let (w_elapsed, w_exchanges, w_effective, w_summaries) = (
+                sweep.elapsed,
+                sweep.exchanges,
+                sweep.workers,
+                sweep.summaries,
+            );
+            let w_last = w_summaries.last().expect("at least one cycle");
+            assert_eq!(
+                w_last.estimate_variance.to_bits(),
+                last.estimate_variance.to_bits(),
+                "worker count {requested} changed the trajectory"
+            );
+            let rate = cycles as f64 / w_elapsed;
+            println!(
+                "  workers {requested} (effective {w_effective}): {w_elapsed:.2} s \
+                 ({rate:.2} cycles/s, {:.1} M exchanges/s)",
+                w_exchanges as f64 / w_elapsed / 1e6
+            );
+            report.push(BenchRun {
+                label: format!("workers_{requested}"),
+                nodes,
+                shards,
+                workers: w_effective,
+                cycles,
+                elapsed_s: w_elapsed,
+                cycles_per_s: rate,
+                exchanges_per_s: w_exchanges as f64 / w_elapsed,
+            });
+        }
+    }
+
+    if args.baseline {
         let mut reference =
             GossipSimulation::try_new(SimulationConfig::averaging(protocol), &values, seed)?;
         let started = Instant::now();
@@ -138,6 +314,39 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "single-threaded reference: {ref_elapsed:.2} s ({reference_rate:.2} cycles/s) — \
              sharded speedup {:.2}x",
             sharded_rate / reference_rate
+        );
+    }
+
+    report.peak_rss_bytes = bench::peak_rss_bytes();
+    // Successive invocations build up one artifact: runs already recorded
+    // under other labels (a --full run, the worker sweep) are kept, runs
+    // re-measured under the same label are replaced.
+    report.merge_into_file(&args.bench_out)?;
+    println!("benchmark report written to {}", args.bench_out);
+
+    if let Some(path) = args.assert_baseline {
+        let tolerance = env_f64("GOSSIP_BENCH_TOLERANCE", 0.20);
+        let committed = BenchReport::load(&path)?
+            .ok_or_else(|| format!("{path} is not a bench_sharded_engine/v1 report"))?;
+        // The gate compares the freshly measured runs only — merged-in
+        // history would trivially pass against itself.
+        let failures = bench::regressions(&committed, &report, tolerance);
+        for (label, was, now) in &failures {
+            eprintln!(
+                "REGRESSION {label}: {now:.2} cycles/s vs committed {was:.2} \
+                 (tolerance {:.0}%)",
+                tolerance * 100.0
+            );
+        }
+        assert!(
+            failures.is_empty(),
+            "throughput regressed beyond {:.0}% on {} run(s)",
+            tolerance * 100.0,
+            failures.len()
+        );
+        println!(
+            "regression gate vs {path}: OK (tolerance {:.0}%)",
+            tolerance * 100.0
         );
     }
 

@@ -282,6 +282,79 @@ fn shard_count_changes_only_telemetry_summation_order() {
     }
 }
 
+/// Tentpole pin for the struct-of-arrays hot path: with one worker and
+/// uniform sampling the engine runs the batched SoA fused executor, and its
+/// results must be bit-identical at 1/2/4/8 shards — all reproducing the
+/// *pre-SoA* golden trajectory (the same FNV fingerprint pinned by
+/// [`uniform_sampler_is_bit_identical_to_the_pre_sampler_engines`] for this
+/// harness). Batched shuffles, pre-drawn peer picks and per-seq loss seeds
+/// must replay the exact draw sequence of the node-path executor.
+#[test]
+fn soa_fused_executor_reproduces_the_golden_across_shard_counts() {
+    for shards in [1usize, 2, 4, 8] {
+        let (_, bits) = sharded_summaries(2024, shards, Some(1), 0.1);
+        let mut fnv: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in &bits {
+            fnv ^= b;
+            fnv = fnv.wrapping_mul(0x1000_0000_01b3);
+        }
+        assert_eq!(
+            fnv, 0x64bd_b10a_57df_4315,
+            "SoA executor at {shards} shard(s) drifted from the golden trajectory"
+        );
+    }
+}
+
+/// The SoA executor and the threaded round/mailbox executor stay
+/// bit-identical on the *hard* configuration too: leader-led size
+/// estimation (multi-instance epochs, cold-path led instances), message
+/// loss and churn all at once, across worker counts at a fixed shard count.
+#[test]
+fn soa_executor_matches_threaded_executor_with_leaders_loss_and_churn() {
+    let run = |workers: usize| {
+        let config = ShardedConfig {
+            base: SimulationConfig {
+                protocol: ProtocolConfig::builder()
+                    .cycles_per_epoch(8)
+                    .late_join(aggregate_core::config::LateJoinPolicy::FixedState(0.0))
+                    .build()
+                    .unwrap(),
+                conditions: NetworkConditions::with_message_loss(0.05),
+                leader_policy: Some(LeaderPolicy::Fixed { probability: 0.02 }),
+                sampler: SamplerConfig::UniformComplete,
+            },
+            shards: 4,
+            workers: Some(workers),
+        };
+        let values: Vec<f64> = (0..240).map(|i| (i % 31) as f64).collect();
+        let mut sim = ShardedSimulation::new(config, &values, 404).unwrap();
+        let mut summaries = Vec::new();
+        for cycle in 0..25 {
+            for i in 0..4 {
+                sim.add_node((cycle * 4 + i) as f64);
+            }
+            sim.remove_random_nodes(4);
+            summaries.push(sim.run_cycle());
+        }
+        let bits: Vec<u64> = sim.estimates().iter().map(|v| v.to_bits()).collect();
+        (summaries, bits, sim.last_size_estimate())
+    };
+    let (reference, reference_bits, reference_size) = run(1);
+    assert!(
+        reference_size.is_some(),
+        "a leader-led COUNT epoch must have completed"
+    );
+    for workers in [2, 4] {
+        let (summaries, bits, size) = run(workers);
+        assert_eq!(
+            summaries, reference,
+            "{workers}-worker run must match the SoA executor"
+        );
+        assert_eq!(bits, reference_bits);
+        assert_eq!(size.map(f64::to_bits), reference_size.map(f64::to_bits));
+    }
+}
+
 /// The loss-free size-estimation scenario (multi-instance epochs) is also
 /// shard-count invariant at the node level: with no loss draws to consume,
 /// instance-tag ordering cannot perturb anything.
