@@ -82,6 +82,7 @@ mod error;
 pub mod exchange;
 pub mod node;
 pub mod protocol;
+pub mod redundancy;
 pub mod sampler;
 pub mod selectors;
 pub mod size_estimation;
@@ -94,6 +95,9 @@ pub use error::AggregationError;
 pub use exchange::{ExchangeCore, ExchangeScratch, ExchangeTally};
 pub use node::{EpochResult, HotView, ProtocolNode};
 pub use protocol::{AggregationInstance, GossipMessage, InstanceTag};
+pub use redundancy::{
+    merge_estimates, redundant_size_estimate_from_epoch, MergePolicy, RedundancyConfig, ReportError,
+};
 pub use sampler::{PeerSampler, SamplerConfig, SamplerDirectory, UniformSampler};
 pub use selectors::{PairSelector, SelectorKind};
 

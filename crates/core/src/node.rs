@@ -229,6 +229,25 @@ impl ProtocolNode {
         self.default_instance.corrupt_state(value);
     }
 
+    /// Overwrites the running approximation of one specific instance — the
+    /// leader-capture attack of the adversary lab, where a compromised leader
+    /// re-asserts a false state into the counting instance it leads. Returns
+    /// `false` when the node is not running an instance with that tag (the
+    /// corruption then has no target and nothing happens).
+    pub fn corrupt_instance(&mut self, tag: InstanceTag, value: f64) -> bool {
+        if tag == InstanceTag::DEFAULT {
+            self.default_instance.corrupt_state(value);
+            return true;
+        }
+        match self.led_instances.get_mut(&tag) {
+            Some(instance) => {
+                instance.corrupt_state(value);
+                true
+            }
+            None => false,
+        }
+    }
+
     /// The epoch this node is currently executing.
     #[inline]
     pub fn current_epoch(&self) -> u64 {

@@ -76,8 +76,9 @@ pub trait FaultInjector: fmt::Debug {
 
 /// SplitMix64 finaliser — the same mixing the engines' `SeedSequence` uses,
 /// applied to (seed, entity) pairs so every link and partition-side decision
-/// is an independent, reproducible coin.
-fn mix(mut z: u64) -> u64 {
+/// is an independent, reproducible coin. Shared with the stateful adversary
+/// lab (`crate::adversary`), whose colluder coins follow the same discipline.
+pub(crate) fn mix(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
@@ -85,8 +86,10 @@ fn mix(mut z: u64) -> u64 {
 }
 
 /// Maps a probability to a threshold on the full `u64` range: an event with
-/// hash `h` fires iff `h < threshold(p)`.
-fn probability_threshold(p: f64) -> u64 {
+/// hash `h` fires iff `h < threshold(p)`. Monotone in `p`, which is what
+/// makes threshold coins *nested*: every event firing at `p₁` also fires at
+/// any `p₂ ≥ p₁` under the same seed.
+pub(crate) fn probability_threshold(p: f64) -> u64 {
     if p >= 1.0 {
         u64::MAX
     } else if p <= 0.0 {

@@ -51,10 +51,12 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod adversary;
 mod conditions;
 mod injector;
 mod plan;
 
+pub use adversary::{Adversary, AdversaryPlan, AdversaryPlanError, AttackStrategy};
 pub use conditions::{ConditionsError, NetworkConditions};
 pub use injector::{FaultInjector, PlanInjector};
 pub use plan::{CrashBurst, FaultPlan, FaultPlanError, LossRamp, PartitionWindow, ValueInjection};

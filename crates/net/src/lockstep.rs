@@ -19,13 +19,15 @@
 
 use crate::node_core::{Delivery, NodeCore};
 use crate::{InMemoryNetwork, Transport};
+use aggregate_core::aggregate::CountInit;
 use aggregate_core::effects::{Clock, SeedSequence, VirtualClock};
 use aggregate_core::node::ProtocolNode;
+use aggregate_core::redundancy::redundant_size_estimate_from_epoch;
 use aggregate_core::sampler::{sample_live_peer, PeerSampler, SamplerConfig, SamplerDirectory};
 use aggregate_core::{size_estimation, ExchangeTally, GossipMessage, InstanceTag};
 use gossip_analysis::OnlineStats;
-use gossip_faults::{FaultInjector, FaultPlan, PlanInjector};
-use gossip_sim::sampling::FAULTS_STREAM;
+use gossip_faults::{Adversary, AdversaryPlan, FaultInjector, FaultPlan, PlanInjector};
+use gossip_sim::sampling::{ADVERSARY_STREAM, FAULTS_STREAM, REDUNDANCY_STREAM};
 use gossip_sim::{instantiate_sampler, CycleSummary, SimConfigError, SimulationConfig};
 use overlay_topology::NodeId;
 use rand::rngs::StdRng;
@@ -106,6 +108,14 @@ pub struct VirtualCluster {
     rng: StdRng,
     sampler: Box<dyn PeerSampler + Send>,
     injector: Box<dyn FaultInjector + Send>,
+    /// The stateful adversary, mirroring the engine's: colluders re-assert
+    /// lies each cycle, captured leaders re-assert false instance states.
+    adversary: Adversary,
+    /// Master seed streams, kept for the per-epoch redundant leader draws.
+    seeds: SeedSequence,
+    /// Monotone counter keying the `redundancy-leaders` draws, in lockstep
+    /// with the engine's.
+    elections: u64,
     last_size_estimate: Option<f64>,
     scratch_pushes: Vec<GossipMessage>,
 }
@@ -141,9 +151,35 @@ impl VirtualCluster {
         master_seed: u64,
         plan: FaultPlan,
     ) -> Result<Self, SimConfigError> {
+        VirtualCluster::with_adversary(
+            config,
+            initial_values,
+            master_seed,
+            plan,
+            AdversaryPlan::none(),
+        )
+    }
+
+    /// Creates the cluster executing a [`FaultPlan`] and a stateful
+    /// [`AdversaryPlan`], exactly as
+    /// [`gossip_sim::GossipSimulation::with_adversary`] does — the wire-path
+    /// binding of the Byzantine adversary lab.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`VirtualCluster::with_faults`] rejects, plus
+    /// [`SimConfigError::Adversary`] for a malformed adversary plan.
+    pub fn with_adversary(
+        config: SimulationConfig,
+        initial_values: &[f64],
+        master_seed: u64,
+        plan: FaultPlan,
+        adversary_plan: AdversaryPlan,
+    ) -> Result<Self, SimConfigError> {
         config.validate(initial_values)?;
         let plan = plan.absorb_conditions(config.conditions);
         plan.validate()?;
+        adversary_plan.validate()?;
         let n = initial_values.len();
         let nodes: Vec<Option<NodeCore>> = initial_values
             .iter()
@@ -163,6 +199,11 @@ impl VirtualCluster {
             plan,
             seeds.seed_for_labeled(0, FAULTS_STREAM),
         ));
+        let adversary = Adversary::new(
+            adversary_plan,
+            seeds.seed_for_labeled(0, ADVERSARY_STREAM),
+            &initial_ids,
+        );
         let mut cluster = VirtualCluster {
             config,
             nodes,
@@ -174,6 +215,9 @@ impl VirtualCluster {
             rng: seeds.rng_for_run(0),
             sampler,
             injector,
+            adversary,
+            seeds,
+            elections: 0,
             last_size_estimate: None,
             scratch_pushes: Vec::new(),
         };
@@ -184,6 +228,12 @@ impl VirtualCluster {
     /// The peer-sampling configuration partners are drawn from.
     pub fn sampler_config(&self) -> SamplerConfig {
         self.sampler.config()
+    }
+
+    /// The realised adversary (colluding set and per-epoch captures) — the
+    /// cross-runtime tests inspect it to cross-check which nodes are lying.
+    pub fn adversary(&self) -> &Adversary {
+        &self.adversary
     }
 
     /// Number of live nodes.
@@ -229,8 +279,39 @@ impl VirtualCluster {
         if crash_victims > 0 {
             self.remove_random_nodes(crash_victims);
         }
+        // The stateful adversary next, exactly as the engine orders it:
+        // colluders re-assert their lie at the start of every active cycle,
+        // captured leaders re-assert the false state into their instances.
+        // Pure — no RNG — so the empty plan stays bit-identical.
+        if let Some(value) = self.adversary.lie_at(self.cycle) {
+            for &id in self.adversary.colluders() {
+                let slot = id.as_u32() as usize;
+                if slot < self.nodes.len() {
+                    if let Some(core) = self.nodes[slot].as_mut() {
+                        core.corrupt_estimate(value);
+                    }
+                }
+            }
+        }
+        if let Some(state) = self.adversary.captured_state_at(self.cycle) {
+            for &id in self.adversary.captured() {
+                let slot = id.as_u32() as usize;
+                if slot < self.nodes.len() {
+                    if let Some(core) = self.nodes[slot].as_mut() {
+                        core.node_mut()
+                            .corrupt_instance(InstanceTag::from_leader(id), state);
+                    }
+                }
+            }
+        }
+        // One corruption per node per cycle: adversary lies win over the
+        // one-shot ValueInjection (same rule as the engine).
         for (pos, value) in self.injector.corruptions(self.live.len()) {
             let slot = self.live[pos] as usize;
+            let id = NodeId::from_u32(self.live[pos]);
+            if self.adversary.overrides_injection(self.cycle, id) {
+                continue;
+            }
             if let Some(core) = self.nodes[slot].as_mut() {
                 core.corrupt_estimate(value);
             }
@@ -364,7 +445,16 @@ impl VirtualCluster {
                     if let Some(estimate) = result.default_estimate() {
                         epoch_estimates.push(estimate);
                     }
-                    if let Some(size) = size_estimation::size_estimate_from_epoch(&result) {
+                    // The defended estimator merges per-instance estimates;
+                    // the undefended one pools instance states by averaging
+                    // (same selection as the engine).
+                    let size = match self.config.redundancy {
+                        Some(redundancy) => {
+                            redundant_size_estimate_from_epoch(&result, redundancy.merge).ok()
+                        }
+                        None => size_estimation::size_estimate_from_epoch(&result),
+                    };
+                    if let Some(size) = size {
                         epoch_size_estimates.push(size);
                     }
                 }
@@ -435,20 +525,32 @@ impl VirtualCluster {
 
     /// Re-runs the leader election for the counting instances, mirroring the
     /// engine (same iteration order, same RNG stream, same deterministic
-    /// fallback leader).
+    /// fallback leader, same redundant-election draws).
     fn elect_leaders(&mut self) {
+        // A new epoch starts: whatever leaders the adversary captured last
+        // epoch died with their instances.
+        self.adversary.begin_epoch();
+        if let Some(redundancy) = self.config.redundancy {
+            self.elect_redundant_leaders(redundancy.instances);
+            return;
+        }
         let Some(policy) = self.config.leader_policy else {
             return;
         };
         let previous = self.last_size_estimate;
         let VirtualCluster {
-            nodes, live, rng, ..
+            nodes,
+            live,
+            rng,
+            adversary,
+            ..
         } = self;
         let mut any_leader = false;
         for &slot in live.iter() {
             if let Some(core) = nodes[slot as usize].as_mut() {
                 if size_estimation::elect_leader(core.node_mut(), policy, previous, rng) {
                     any_leader = true;
+                    adversary.observe_leader(core.id());
                 }
             }
         }
@@ -457,7 +559,39 @@ impl VirtualCluster {
                 if let Some(core) = nodes[slot as usize].as_mut() {
                     let tag = InstanceTag::from_leader(core.id());
                     core.node_mut().start_led_instance(tag, 1.0);
+                    adversary.observe_leader(core.id());
                 }
+            }
+        }
+    }
+
+    /// The redundant-instance election, draw-for-draw identical to the
+    /// engine's: a partial Fisher–Yates over the live directory from the
+    /// `redundancy-leaders` stream, keyed by the same election counter.
+    fn elect_redundant_leaders(&mut self, instances: usize) {
+        let live_count = self.live.len();
+        if live_count == 0 {
+            return;
+        }
+        let k = instances.min(live_count);
+        let mut rng = self
+            .seeds
+            .rng_for_labeled(self.elections, REDUNDANCY_STREAM);
+        self.elections += 1;
+        let mut positions: Vec<u32> = (0..live_count as u32).collect();
+        for i in 0..k {
+            let j = rng.gen_range(i..live_count);
+            positions.swap(i, j);
+        }
+        for &pos in &positions[..k] {
+            let slot = self.live[pos as usize] as usize;
+            if let Some(core) = self.nodes[slot].as_mut() {
+                let id = core.id();
+                core.node_mut().start_led_instance(
+                    InstanceTag::from_leader(id),
+                    CountInit::initial_value(true),
+                );
+                self.adversary.observe_leader(id);
             }
         }
     }

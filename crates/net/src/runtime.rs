@@ -16,9 +16,9 @@ use aggregate_core::node::ProtocolNode;
 use aggregate_core::sampler::UniformSampler;
 use aggregate_core::sampler::{sample_live_peer, PeerSampler, SamplerConfig, SliceDirectory};
 use aggregate_core::{GossipMessage, ProtocolConfig};
-use gossip_faults::{FaultInjector, FaultPlan, PlanInjector};
+use gossip_faults::{Adversary, AdversaryPlan, FaultInjector, FaultPlan, PlanInjector};
 use gossip_sim::instantiate_sampler;
-use gossip_sim::sampling::FAULTS_STREAM;
+use gossip_sim::sampling::{ADVERSARY_STREAM, FAULTS_STREAM};
 use overlay_topology::NodeId;
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
@@ -171,6 +171,11 @@ pub struct NodeEnv<T: Transport> {
     rng: StdRng,
     sampler: Box<dyn PeerSampler + Send>,
     injector: Box<dyn FaultInjector + Send>,
+    /// The stateful adversary: when this node is a colluder, it re-asserts
+    /// the attack value at every cycle boundary, exactly as the simulators'
+    /// colluders do. Cluster-shared seed stream ⇒ every node agrees on the
+    /// colluding set without coordination.
+    adversary: Adversary,
     /// Cluster-shared stream for crash/corruption victim selection; identical
     /// on every node of a cluster (see [`FAULT_SCHEDULE_STREAM`]).
     fault_schedule: StdRng,
@@ -187,6 +192,7 @@ impl<T: Transport> NodeEnv<T> {
             rng: StdRng::seed_from_u64(seed),
             sampler: Box::new(UniformSampler::new()),
             injector: Box::new(PlanInjector::new(FaultPlan::none(), 0)),
+            adversary: Adversary::none(),
             fault_schedule: StdRng::seed_from_u64(0),
         }
     }
@@ -239,6 +245,37 @@ impl<T: Transport> NodeEnv<T> {
             seeds.seed_for_labeled(0, FAULTS_STREAM),
         ));
         self.fault_schedule = seeds.rng_for_labeled(0, FAULT_SCHEDULE_STREAM);
+        Ok(self)
+    }
+
+    /// Arms the stateful adversary with the *same* [`AdversaryPlan`] the
+    /// simulators take, deriving the colluder coins from the cluster-wide
+    /// `seeds` through the same labelled stream over the sorted member list
+    /// — every node of a cluster agrees on who is colluding without any
+    /// coordination messages, and each colluder re-asserts its lie at every
+    /// cycle boundary.
+    ///
+    /// Leader capture ([`gossip_faults::AttackStrategy::LeaderCapture`]) is
+    /// inert here: the live runtime runs no counting-instance elections, so
+    /// there are no leaders to capture. The simulators and
+    /// [`crate::VirtualCluster`] exercise that half of the lab.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::InvalidConfig`] for a malformed adversary plan.
+    pub fn with_adversary(
+        mut self,
+        plan: AdversaryPlan,
+        seeds: &SeedSequence,
+    ) -> Result<Self, NetError> {
+        plan.validate().map_err(|e| NetError::InvalidConfig {
+            reason: e.to_string(),
+        })?;
+        let mut members = self.transport.peers();
+        members.push(self.transport.local_node());
+        members.sort();
+        self.adversary =
+            Adversary::new(plan, seeds.seed_for_labeled(0, ADVERSARY_STREAM), &members);
         Ok(self)
     }
 }
@@ -449,8 +486,18 @@ fn enter_cycle<T: Transport>(
             state.crashed = true;
         }
     }
+    // The stateful adversary next, in the simulators' order: a colluding
+    // node re-asserts its lie every cycle, and the one-shot ValueInjection
+    // never double-corrupts a node the adversary is actively lying through.
+    if env.adversary.is_colluder(local) {
+        if let Some(value) = env.adversary.lie_at(cycle) {
+            node.lock().corrupt_estimate(value);
+        }
+    }
     for (pos, value) in env.injector.corruptions(state.live_ids.len()) {
-        if state.live_ids.get(pos) == Some(&local) {
+        if state.live_ids.get(pos) == Some(&local)
+            && !env.adversary.overrides_injection(cycle, local)
+        {
             node.lock().corrupt_estimate(value);
         }
     }

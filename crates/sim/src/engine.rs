@@ -30,12 +30,14 @@
 use crate::arena::NodeArena;
 use crate::sampling::{instantiate_sampler, ArenaDirectory};
 use crate::{NetworkConditions, SeedSequence, SimConfigError};
+use aggregate_core::aggregate::CountInit;
 use aggregate_core::node::ProtocolNode;
+use aggregate_core::redundancy::{redundant_size_estimate_from_epoch, RedundancyConfig};
 use aggregate_core::sampler::{sample_live_peer, PeerSampler, SamplerConfig};
 use aggregate_core::size_estimation::{self, LeaderPolicy};
-use aggregate_core::{ExchangeCore, ExchangeTally, GossipMessage, ProtocolConfig};
+use aggregate_core::{ExchangeCore, ExchangeTally, GossipMessage, InstanceTag, ProtocolConfig};
 use gossip_analysis::OnlineStats;
-use gossip_faults::{FaultInjector, FaultPlan, PlanInjector};
+use gossip_faults::{Adversary, AdversaryPlan, FaultInjector, FaultPlan, PlanInjector};
 use overlay_topology::NodeId;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -61,6 +63,14 @@ pub struct SimulationConfig {
     /// static overlay graph, or a live NEWSCAST membership protocol running
     /// in lockstep with the aggregation cycles.
     pub sampler: SamplerConfig,
+    /// The redundant-instance defense: when set, every epoch elects exactly
+    /// `k` distinct counting-instance leaders (from the dedicated
+    /// `redundancy-leaders` seed stream) and per-node size reports merge the
+    /// per-instance estimates under the configured policy (median-of-k or
+    /// trimmed mean) instead of pooling instance states by averaging.
+    /// `None` keeps the undefended estimator and the probabilistic
+    /// `leader_policy` elections.
+    pub redundancy: Option<RedundancyConfig>,
 }
 
 impl SimulationConfig {
@@ -72,6 +82,7 @@ impl SimulationConfig {
             conditions: NetworkConditions::reliable(),
             leader_policy: None,
             sampler: SamplerConfig::UniformComplete,
+            redundancy: None,
         }
     }
 
@@ -90,6 +101,9 @@ impl SimulationConfig {
                 message_loss: self.conditions.message_loss,
                 crash_fraction: self.conditions.crash_fraction,
             });
+        }
+        if let Some(redundancy) = self.redundancy {
+            redundancy.validate()?;
         }
         crate::error::validate_initial_values(initial_values)
     }
@@ -148,6 +162,16 @@ pub struct GossipSimulation {
     /// injector path; the empty plan is bit-identical to the pre-fault-lab
     /// engine (pinned by `tests/determinism.rs`).
     injector: Box<dyn FaultInjector>,
+    /// The stateful adversary: colluders re-asserting lies every cycle and
+    /// captured counting-instance leaders. The empty plan never touches a
+    /// node and consumes no randomness, so it is bit-identical to no
+    /// adversary lab at all (pinned by `tests/determinism.rs`).
+    adversary: Adversary,
+    /// Master seed streams, kept for the per-epoch redundant leader draws.
+    seeds: SeedSequence,
+    /// Monotone counter keying the `redundancy-leaders` draws, one per
+    /// election, so every epoch's leader set is an independent stream.
+    elections: u64,
     last_size_estimate: Option<f64>,
     scratch_pushes: Vec<GossipMessage>,
     scratch_replies: Vec<GossipMessage>,
@@ -169,9 +193,15 @@ impl GossipSimulation {
     /// not probabilities; [`GossipSimulation::try_new`] reports the same
     /// conditions as typed errors.
     pub fn new(config: SimulationConfig, initial_values: &[f64], master_seed: u64) -> Self {
-        GossipSimulation::build(config, initial_values, master_seed, FaultPlan::none())
-            // lint-allow(unwrap): documented `# Panics` contract; `try_new` is the typed-error variant
-            .expect("invalid simulation configuration")
+        GossipSimulation::build(
+            config,
+            initial_values,
+            master_seed,
+            FaultPlan::none(),
+            AdversaryPlan::none(),
+        )
+        // lint-allow(unwrap): documented `# Panics` contract; `try_new` is the typed-error variant
+        .expect("invalid simulation configuration")
     }
 
     /// Validating variant of [`GossipSimulation::new`], mirroring the
@@ -188,7 +218,13 @@ impl GossipSimulation {
         master_seed: u64,
     ) -> Result<Self, SimConfigError> {
         config.validate(initial_values)?;
-        GossipSimulation::build(config, initial_values, master_seed, FaultPlan::none())
+        GossipSimulation::build(
+            config,
+            initial_values,
+            master_seed,
+            FaultPlan::none(),
+            AdversaryPlan::none(),
+        )
     }
 
     /// Creates a simulation executing the given [`FaultPlan`] (with the
@@ -207,7 +243,32 @@ impl GossipSimulation {
         plan: FaultPlan,
     ) -> Result<Self, SimConfigError> {
         config.validate(initial_values)?;
-        GossipSimulation::build(config, initial_values, master_seed, plan)
+        GossipSimulation::build(
+            config,
+            initial_values,
+            master_seed,
+            plan,
+            AdversaryPlan::none(),
+        )
+    }
+
+    /// Creates a simulation executing both a [`FaultPlan`] and a stateful
+    /// [`AdversaryPlan`] — the Byzantine adversary lab. With both plans
+    /// empty this is exactly [`GossipSimulation::try_new`].
+    ///
+    /// # Errors
+    ///
+    /// Everything [`GossipSimulation::with_faults`] rejects, plus
+    /// [`SimConfigError::Adversary`] for a malformed adversary plan.
+    pub fn with_adversary(
+        config: SimulationConfig,
+        initial_values: &[f64],
+        master_seed: u64,
+        plan: FaultPlan,
+        adversary: AdversaryPlan,
+    ) -> Result<Self, SimConfigError> {
+        config.validate(initial_values)?;
+        GossipSimulation::build(config, initial_values, master_seed, plan, adversary)
     }
 
     fn build(
@@ -215,6 +276,7 @@ impl GossipSimulation {
         initial_values: &[f64],
         master_seed: u64,
         plan: FaultPlan,
+        adversary_plan: AdversaryPlan,
     ) -> Result<Self, SimConfigError> {
         config
             .conditions
@@ -225,6 +287,7 @@ impl GossipSimulation {
             })?;
         let plan = plan.absorb_conditions(config.conditions);
         plan.validate()?;
+        adversary_plan.validate()?;
         let mut arena = NodeArena::new();
         let mut initial_ids = Vec::with_capacity(initial_values.len());
         for &v in initial_values {
@@ -236,6 +299,11 @@ impl GossipSimulation {
             plan,
             seeds.seed_for_labeled(0, crate::sampling::FAULTS_STREAM),
         ));
+        let adversary = Adversary::new(
+            adversary_plan,
+            seeds.seed_for_labeled(0, crate::sampling::ADVERSARY_STREAM),
+            &initial_ids,
+        );
         let mut sim = GossipSimulation {
             config,
             arena,
@@ -243,12 +311,21 @@ impl GossipSimulation {
             rng: seeds.rng_for_run(0),
             sampler,
             injector,
+            adversary,
+            seeds,
+            elections: 0,
             last_size_estimate: None,
             scratch_pushes: Vec::new(),
             scratch_replies: Vec::new(),
         };
         sim.elect_leaders();
         Ok(sim)
+    }
+
+    /// The realised adversary (colluding set and per-epoch captures) — the
+    /// test suites inspect it to cross-check which nodes are lying.
+    pub fn adversary(&self) -> &Adversary {
+        &self.adversary
     }
 
     /// The peer-sampling configuration this simulation draws partners from
@@ -392,8 +469,45 @@ impl GossipSimulation {
         if crash_victims > 0 {
             self.remove_random_nodes(crash_victims);
         }
+        // The stateful adversary next: colluders re-assert their lie at the
+        // start of every active cycle (this is what distinguishes them from
+        // the one-shot ValueInjection — dilution never wins while the attack
+        // runs), and captured counting-instance leaders re-assert the false
+        // state into the instances they lead. All of it is pure — no RNG —
+        // so the empty plan stays bit-identical.
+        {
+            let GossipSimulation {
+                adversary,
+                arena,
+                cycle,
+                ..
+            } = self;
+            if let Some(value) = adversary.lie_at(*cycle) {
+                for &id in adversary.colluders() {
+                    if let Some(node) = arena.get_mut(id) {
+                        node.corrupt_estimate(value);
+                    }
+                }
+            }
+            if let Some(state) = adversary.captured_state_at(*cycle) {
+                for &id in adversary.captured() {
+                    if let Some(node) = arena.get_mut(id) {
+                        node.corrupt_instance(InstanceTag::from_leader(id), state);
+                    }
+                }
+            }
+        }
+        // One corruption per node per cycle: a node the adversary is actively
+        // lying through keeps the adversary's value — the injection would be
+        // overwritten at the next cycle start anyway, and skipping it keeps
+        // the composed labs from double-corrupting (pinned by a regression
+        // test in tests/byzantine.rs).
         for (pos, value) in self.injector.corruptions(self.arena.len()) {
             let slot = self.arena.live_slots()[pos];
+            let id = self.arena.id_at_slot(slot);
+            if self.adversary.overrides_injection(self.cycle, id) {
+                continue;
+            }
             if let Some(node) = self.arena.node_at_slot_mut(slot) {
                 node.corrupt_estimate(value);
             }
@@ -501,7 +615,16 @@ impl GossipSimulation {
                     if let Some(estimate) = result.default_estimate() {
                         epoch_estimates.push(estimate);
                     }
-                    if let Some(size) = size_estimation::size_estimate_from_epoch(&result) {
+                    // The defended estimator merges per-instance estimates
+                    // (median-of-k / trimmed mean); the undefended one pools
+                    // instance states by averaging.
+                    let size = match self.config.redundancy {
+                        Some(redundancy) => {
+                            redundant_size_estimate_from_epoch(&result, redundancy.merge).ok()
+                        }
+                        None => size_estimation::size_estimate_from_epoch(&result),
+                    };
+                    if let Some(size) = size {
                         epoch_size_estimates.push(size);
                     }
                 }
@@ -555,6 +678,13 @@ impl GossipSimulation {
     }
 
     fn elect_leaders(&mut self) {
+        // A new epoch starts: whatever leaders the adversary captured last
+        // epoch died with their instances.
+        self.adversary.begin_epoch();
+        if let Some(redundancy) = self.config.redundancy {
+            self.elect_redundant_leaders(redundancy.instances);
+            return;
+        }
         let Some(policy) = self.config.leader_policy else {
             return;
         };
@@ -562,9 +692,11 @@ impl GossipSimulation {
         let mut any_leader = false;
         for pos in 0..self.arena.len() {
             let slot = self.arena.live_slots()[pos];
+            let id = self.arena.id_at_slot(slot);
             if let Some(node) = self.arena.node_at_slot_mut(slot) {
                 if size_estimation::elect_leader(node, policy, previous, &mut self.rng) {
                     any_leader = true;
+                    self.adversary.observe_leader(id);
                 }
             }
         }
@@ -573,12 +705,47 @@ impl GossipSimulation {
         // leader so the epoch still produces a size estimate.
         if !any_leader {
             if let Some(&slot) = self.arena.live_slots().first() {
+                let id = self.arena.id_at_slot(slot);
                 if let Some(node) = self.arena.node_at_slot_mut(slot) {
                     node.start_led_instance(
                         aggregate_core::InstanceTag::from_leader(node.id()),
                         1.0,
                     );
+                    self.adversary.observe_leader(id);
                 }
+            }
+        }
+    }
+
+    /// The redundant-instance election: exactly `min(k, live)` *distinct*
+    /// leaders per epoch, drawn by a partial Fisher–Yates over the live
+    /// directory from the dedicated `redundancy-leaders` stream — so the
+    /// defense's randomness never perturbs the schedule draws, and runs
+    /// without the defense are untouched.
+    fn elect_redundant_leaders(&mut self, instances: usize) {
+        let live = self.arena.len();
+        if live == 0 {
+            return;
+        }
+        let k = instances.min(live);
+        let mut rng = self
+            .seeds
+            .rng_for_labeled(self.elections, crate::sampling::REDUNDANCY_STREAM);
+        self.elections += 1;
+        let mut positions: Vec<u32> = (0..live as u32).collect();
+        for i in 0..k {
+            let j = rng.gen_range(i..live);
+            positions.swap(i, j);
+        }
+        for &pos in &positions[..k] {
+            let slot = self.arena.live_slots()[pos as usize];
+            let id = self.arena.id_at_slot(slot);
+            if let Some(node) = self.arena.node_at_slot_mut(slot) {
+                node.start_led_instance(
+                    InstanceTag::from_leader(id),
+                    CountInit::initial_value(true),
+                );
+                self.adversary.observe_leader(id);
             }
         }
     }
@@ -608,6 +775,7 @@ mod tests {
             conditions: NetworkConditions::reliable(),
             leader_policy: Some(policy),
             sampler: SamplerConfig::UniformComplete,
+            redundancy: None,
         }
     }
 

@@ -63,11 +63,41 @@ pub enum SimConfigError {
         /// [`gossip_faults::FaultPlanError`]).
         reason: String,
     },
+    /// The adversary plan is malformed (collusion fraction out of range, a
+    /// non-finite attack value, an empty attack window, …).
+    Adversary {
+        /// Human-readable rejection reason (from
+        /// [`gossip_faults::AdversaryPlanError`]).
+        reason: String,
+    },
+    /// The redundancy configuration is degenerate (zero instances, or a
+    /// trimmed merge that discards every report).
+    Redundancy {
+        /// Human-readable rejection reason (from
+        /// [`aggregate_core::ReportError`]).
+        reason: String,
+    },
 }
 
 impl From<gossip_faults::FaultPlanError> for SimConfigError {
     fn from(e: gossip_faults::FaultPlanError) -> Self {
         SimConfigError::Faults {
+            reason: e.to_string(),
+        }
+    }
+}
+
+impl From<gossip_faults::AdversaryPlanError> for SimConfigError {
+    fn from(e: gossip_faults::AdversaryPlanError) -> Self {
+        SimConfigError::Adversary {
+            reason: e.to_string(),
+        }
+    }
+}
+
+impl From<aggregate_core::ReportError> for SimConfigError {
+    fn from(e: aggregate_core::ReportError) -> Self {
+        SimConfigError::Redundancy {
             reason: e.to_string(),
         }
     }
@@ -111,6 +141,12 @@ impl fmt::Display for SimConfigError {
             }
             SimConfigError::Faults { ref reason } => {
                 write!(f, "fault schedule rejected: {reason}")
+            }
+            SimConfigError::Adversary { ref reason } => {
+                write!(f, "adversary plan rejected: {reason}")
+            }
+            SimConfigError::Redundancy { ref reason } => {
+                write!(f, "redundancy configuration rejected: {reason}")
             }
         }
     }
@@ -232,6 +268,12 @@ mod tests {
             },
             SimConfigError::Faults {
                 reason: "link_failure 2 must be a probability in [0, 1]".to_string(),
+            },
+            SimConfigError::Adversary {
+                reason: "collusion fraction 1.5 must be a probability in [0, 1]".to_string(),
+            },
+            SimConfigError::Redundancy {
+                reason: "no instance reports to merge".to_string(),
             },
         ] {
             assert!(!error.to_string().is_empty());

@@ -72,18 +72,20 @@ pub use churn::ChurnSchedule;
 pub use engine::{CycleSummary, GossipSimulation, SimulationConfig};
 // The failure models live in `gossip-faults` (the fault-injection lab);
 // re-exported here because every simulation configuration embeds them.
+pub use aggregate_core::redundancy::{MergePolicy, RedundancyConfig, ReportError};
 pub use error::{SimConfigError, SimError};
 pub use event_engine::{
     AsyncConfig, AsyncConfigError, AsyncSimulation, TimeSample, WakeupDistribution,
 };
 pub use gossip_faults::{
-    ConditionsError, FaultInjector, FaultPlan, NetworkConditions, PlanInjector,
+    Adversary, AdversaryPlan, AdversaryPlanError, AttackStrategy, ConditionsError, FaultInjector,
+    FaultPlan, NetworkConditions, PlanInjector,
 };
 pub use overlay::{OverlayExperiment, OverlayMeasurement};
 // `SeedSequence` moved to `aggregate-core`'s effects module (it now seeds
 // the live runtime too); re-exported here so existing imports keep working.
 pub use aggregate_core::effects::SeedSequence;
-pub use robustness::{RobustnessPoint, RobustnessSweep};
+pub use robustness::{AttackDefensePoint, RobustnessPoint, RobustnessSweep};
 pub use sampling::instantiate_sampler;
 pub use sharded::{ShardedConfig, ShardedCycleSummary, ShardedSimulation};
 pub use values::ValueDistribution;

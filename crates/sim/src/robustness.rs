@@ -17,13 +17,17 @@
 //! * [`crash_estimation_curve`] — network-size-estimation error vs crash
 //!   rate at the start of an epoch, the paper's "cost of crashes on the
 //!   counting protocol" figure;
+//! * [`attack_defense_sweep`] — size-estimation error vs attack amplitude
+//!   under leader capture, undefended single-instance counting against the
+//!   median-of-k redundant-instance defense (the Byzantine adversary lab's
+//!   headline curve);
 //! * [`sweep_table`] — renders any set of points as the
 //!   convergence-factor-vs-fault-rate table whose CSV form is the artifact
 //!   the `fault_lab` example, the `robustness_sweep` bench and CI record.
 
 use crate::{
-    FaultPlan, GossipSimulation, SeedSequence, ShardedConfig, ShardedSimulation, SimError,
-    SimulationConfig, ValueDistribution,
+    AdversaryPlan, FaultPlan, GossipSimulation, RedundancyConfig, SeedSequence, ShardedConfig,
+    ShardedSimulation, SimError, SimulationConfig, ValueDistribution,
 };
 use aggregate_core::config::LateJoinPolicy;
 use aggregate_core::size_estimation::LeaderPolicy;
@@ -346,6 +350,148 @@ pub fn crash_estimation_curve(
     Ok(points)
 }
 
+/// One point of the attack-vs-defense size-estimation experiment: the same
+/// leader-capture attack measured against the undefended single-instance
+/// estimator and the median-of-k redundant-instance defense.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AttackDefensePoint {
+    /// The state each captured counting instance is forced to every cycle —
+    /// the attack amplitude (honest leaders hold 1.0, so larger values crush
+    /// the estimate harder).
+    pub reported_state: f64,
+    /// Network size the point ran at.
+    pub nodes: usize,
+    /// Redundant instances `k` the defense ran per epoch.
+    pub instances: usize,
+    /// Leaders the adversary captured per epoch (`f`).
+    pub captured: usize,
+    /// Mean size estimate of the undefended single-instance run.
+    pub undefended_estimate: f64,
+    /// Mean size estimate of the defended (median-of-k) run.
+    pub defended_estimate: f64,
+    /// `|undefended − n| / n`.
+    pub undefended_error: f64,
+    /// `|defended − n| / n`.
+    pub defended_error: f64,
+    /// The defense's overhead factor: `k` concurrent counting instances per
+    /// node instead of one — state, exchange payload and merge work all
+    /// scale linearly in it.
+    pub defense_cost: f64,
+}
+
+/// Runs one counting epoch and returns the mean of the size estimates its
+/// reporting nodes produced.
+fn first_epoch_size_estimate(
+    config: SimulationConfig,
+    nodes: usize,
+    seed: u64,
+    plan: AdversaryPlan,
+    cycles_per_epoch: u32,
+) -> Result<f64, SimError> {
+    let values = vec![0.0; nodes];
+    let mut sim = GossipSimulation::with_adversary(config, &values, seed, FaultPlan::none(), plan)?;
+    for summary in sim.run(cycles_per_epoch as usize) {
+        if summary.completed_epoch == Some(0) && !summary.epoch_size_estimates.is_empty() {
+            return Ok(summary.epoch_size_estimates.iter().sum::<f64>()
+                / summary.epoch_size_estimates.len() as f64);
+        }
+    }
+    Err(SimError::Incomplete(
+        "no size-estimation epoch completed under the adversary",
+    ))
+}
+
+/// Size-estimation error vs attack amplitude under leader capture: for each
+/// amplitude, the adversary captures `captured` counting-instance leaders
+/// per epoch and forces their instances to the amplitude every cycle. Each
+/// point measures the same attack twice — against the undefended
+/// single-instance estimator (a deterministic lone leader, which the
+/// adversary captures whole) and against the median-of-`instances` defense
+/// (`instances` independent leaders per epoch, per-node median merge). As
+/// long as `captured < instances / 2` the median sits on an honest
+/// instance's estimate, so the defended error stays bounded while the
+/// undefended estimate is arbitrarily wrong — the paper's multiple-instances
+/// mitigation, measured as a curve.
+///
+/// # Errors
+///
+/// Configuration errors, or [`SimError::Incomplete`] when no epoch completes.
+pub fn attack_defense_sweep(
+    nodes: usize,
+    cycles_per_epoch: u32,
+    instances: usize,
+    captured: usize,
+    amplitudes: &[f64],
+    seed: u64,
+) -> Result<Vec<AttackDefensePoint>, SimError> {
+    let protocol = ProtocolConfig::builder()
+        .cycles_per_epoch(cycles_per_epoch)
+        .late_join(LateJoinPolicy::FixedState(0.0))
+        .build()?;
+    let base = SimulationConfig::averaging(protocol);
+    let undefended_config = SimulationConfig {
+        // Probability 0 forces the deterministic fallback: exactly one
+        // leader carries the count, and the adversary captures it.
+        leader_policy: Some(LeaderPolicy::Fixed { probability: 0.0 }),
+        ..base
+    };
+    let defended_config = SimulationConfig {
+        redundancy: Some(RedundancyConfig::median_of(instances)),
+        ..base
+    };
+    let mut points = Vec::with_capacity(amplitudes.len());
+    for &amplitude in amplitudes {
+        let plan = AdversaryPlan::leader_capture(captured, amplitude);
+        let undefended =
+            first_epoch_size_estimate(undefended_config, nodes, seed, plan, cycles_per_epoch)?;
+        let defended =
+            first_epoch_size_estimate(defended_config, nodes, seed, plan, cycles_per_epoch)?;
+        let n = nodes as f64;
+        points.push(AttackDefensePoint {
+            reported_state: amplitude,
+            nodes,
+            instances,
+            captured,
+            undefended_estimate: undefended,
+            defended_estimate: defended,
+            undefended_error: (undefended - n).abs() / n,
+            defended_error: (defended - n).abs() / n,
+            defense_cost: instances as f64,
+        });
+    }
+    Ok(points)
+}
+
+/// Renders attack-defense points as the error-vs-amplitude table — the CSV
+/// artifact of the `byzantine_lab` example and the adversarial-smoke CI job.
+pub fn attack_defense_table(points: &[AttackDefensePoint]) -> Table {
+    let mut table = Table::new(vec![
+        "reported_state",
+        "nodes",
+        "instances",
+        "captured",
+        "undefended_estimate",
+        "defended_estimate",
+        "undefended_error",
+        "defended_error",
+        "defense_cost",
+    ]);
+    for point in points {
+        table.add_row(vec![
+            format!("{:.4}", point.reported_state),
+            point.nodes.to_string(),
+            point.instances.to_string(),
+            point.captured.to_string(),
+            format!("{:.1}", point.undefended_estimate),
+            format!("{:.1}", point.defended_estimate),
+            format!("{:.4}", point.undefended_error),
+            format!("{:.4}", point.defended_error),
+            format!("{:.1}", point.defense_cost),
+        ]);
+    }
+    table
+}
+
 /// Renders robustness points as the convergence-factor-vs-fault-rate table
 /// — one row per (fault family, rate), CSV-exportable via
 /// [`Table::write_csv`]. Curves from several sweeps stack into one artifact
@@ -513,6 +659,30 @@ mod tests {
         // error must be visible yet bounded (the protocol does not wedge).
         assert!(points[1].relative_error > points[0].relative_error);
         assert!(points[1].estimate_mean.is_finite() && points[1].estimate_mean > 0.0);
+    }
+
+    #[test]
+    fn attack_defense_sweep_shows_the_median_holding_the_line() {
+        // Small-scale version of the pinned acceptance point (the 10k-node
+        // version lives in tests/byzantine.rs and the CI smoke job): two of
+        // five instances captured, the median still reads the honest count.
+        let points = attack_defense_sweep(500, 30, 5, 2, &[20.0], 31).unwrap();
+        assert_eq!(points.len(), 1);
+        let point = &points[0];
+        assert!(
+            point.defended_error < 0.10,
+            "median-of-5 with 2 captured must stay within 10%, error {}",
+            point.defended_error
+        );
+        assert!(
+            point.undefended_error > 0.8,
+            "a captured lone leader must wreck the undefended estimate, error {}",
+            point.undefended_error
+        );
+        assert!(point.defended_error * 5.0 < point.undefended_error);
+        let csv = attack_defense_table(&points).to_csv();
+        assert!(csv.starts_with("reported_state,nodes,instances,captured"));
+        assert_eq!(csv.lines().count(), 2);
     }
 
     #[test]

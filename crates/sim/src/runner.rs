@@ -228,6 +228,7 @@ impl SizeEstimationScenario {
             conditions: NetworkConditions::with_message_loss(self.message_loss),
             leader_policy: Some(self.leader_policy),
             sampler: self.sampler,
+            redundancy: None,
         })
     }
 }
@@ -549,6 +550,7 @@ pub fn robustness_run(
         conditions,
         leader_policy: None,
         sampler: SamplerConfig::UniformComplete,
+        redundancy: None,
     };
     let seeds = SeedSequence::new(seed);
     // stream: node value draws for churn scenarios

@@ -34,6 +34,16 @@ pub const TOPOLOGY_STREAM: &str = "sampler-topology";
 /// so the empty fault plan leaves engine trajectories bit-identical.
 pub const FAULTS_STREAM: &str = "fault-injection";
 
+/// Label of the seed stream feeding the adversary lab's colluder-membership
+/// coins. Isolated from every schedule stream, so the empty adversary plan
+/// leaves engine trajectories bit-identical.
+pub const ADVERSARY_STREAM: &str = "adversary-collusion";
+
+/// Label of the seed stream electing the redundant counting-instance leaders
+/// (the median-of-k defense's `k` leaders per epoch). Isolated from the
+/// schedule and probabilistic-election streams.
+pub const REDUNDANCY_STREAM: &str = "redundancy-leaders";
+
 /// Builds the [`PeerSampler`] described by `config` over the initial
 /// population `initial` (in directory order), deriving internal seeds from
 /// `seeds` through labelled streams.

@@ -55,14 +55,16 @@ use crate::arena::{IdLayout, NodeArena, MAX_SHARDS};
 use crate::sampling::instantiate_sampler;
 use crate::soa::{self, HotStore, WordBuffer};
 use crate::{SeedSequence, SimConfigError, SimulationConfig};
+use aggregate_core::aggregate::CountInit;
 use aggregate_core::node::{HotView, ProtocolNode};
+use aggregate_core::redundancy::{redundant_size_estimate_from_epoch, MergePolicy};
 use aggregate_core::sampler::{sample_live_peer, PeerSampler, SamplerConfig, SamplerDirectory};
 use aggregate_core::size_estimation;
 use aggregate_core::{
     AggregateKind, ExchangeCore, ExchangeScratch, ExchangeTally, GossipMessage, InstanceTag,
 };
 use gossip_analysis::OnlineStats;
-use gossip_faults::{FaultInjector, FaultPlan, PlanInjector};
+use gossip_faults::{Adversary, AdversaryPlan, FaultInjector, FaultPlan, PlanInjector};
 use overlay_topology::NodeId;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -380,6 +382,12 @@ pub struct ShardedSimulation {
     /// the shard-count bit-invariance of node values holds only for plans
     /// without identity-keyed faults.
     injector: Box<dyn FaultInjector>,
+    /// The stateful adversary. Consulted exclusively on the coordinator
+    /// (cycle-start lies, captured-leader assertions, injection overrides).
+    /// Colluder membership keys on initial global-directory *positions* —
+    /// not node identifiers, which embed the shard layout — so the
+    /// colluding set is bit-identical across shard and worker counts.
+    adversary: Adversary,
 }
 
 /// Lazily seeded per-exchange loss model: free when the loss probability is
@@ -428,9 +436,35 @@ impl ShardedSimulation {
         master_seed: u64,
         plan: FaultPlan,
     ) -> Result<Self, SimConfigError> {
+        ShardedSimulation::with_adversary(
+            config,
+            initial_values,
+            master_seed,
+            plan,
+            AdversaryPlan::none(),
+        )
+    }
+
+    /// Creates a sharded simulation executing both a [`FaultPlan`] and a
+    /// stateful [`AdversaryPlan`]. Colluder membership is keyed on initial
+    /// global-directory *positions*, so the colluding set (and hence the
+    /// whole trajectory) is invariant across shard and worker counts.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`ShardedSimulation::with_faults`] rejects, plus
+    /// [`SimConfigError::Adversary`] for a malformed adversary plan.
+    pub fn with_adversary(
+        config: ShardedConfig,
+        initial_values: &[f64],
+        master_seed: u64,
+        plan: FaultPlan,
+        adversary_plan: AdversaryPlan,
+    ) -> Result<Self, SimConfigError> {
         config.validate(initial_values)?;
         let plan = plan.absorb_conditions(config.base.conditions);
         plan.validate()?;
+        adversary_plan.validate()?;
         let shard_count = config.shards;
         let mut shards: Vec<Shard> = (0..shard_count)
             .map(|s| Shard {
@@ -455,6 +489,11 @@ impl ShardedSimulation {
             plan,
             seeds.seed_for_labeled(0, crate::sampling::FAULTS_STREAM),
         ));
+        let adversary = Adversary::new(
+            adversary_plan,
+            seeds.seed_for_labeled(0, crate::sampling::ADVERSARY_STREAM),
+            &global_live,
+        );
         let mut sim = ShardedSimulation {
             config,
             shards,
@@ -472,6 +511,7 @@ impl ShardedSimulation {
             soa_packed: Vec::new(),
             sampler,
             injector,
+            adversary,
         };
         sim.elect_leaders();
         Ok(sim)
@@ -480,6 +520,11 @@ impl ShardedSimulation {
     /// The peer-sampling configuration exchange partners are drawn from.
     pub fn sampler_config(&self) -> SamplerConfig {
         self.sampler.config()
+    }
+
+    /// The realised adversary (colluding set and per-epoch captures).
+    pub fn adversary(&self) -> &Adversary {
+        &self.adversary
     }
 
     /// Number of live nodes.
@@ -691,8 +736,53 @@ impl ShardedSimulation {
         if crash_victims > 0 {
             self.remove_random_nodes(crash_victims);
         }
+        // The stateful adversary next (coordinator-only, pure — no RNG, so
+        // the empty plan stays bit-identical): colluders re-assert their lie
+        // and captured counting-instance leaders re-assert the false state,
+        // both hot-aware like the injector path below.
+        {
+            let ShardedSimulation {
+                adversary,
+                shards,
+                cycle,
+                ..
+            } = self;
+            if let Some(value) = adversary.lie_at(*cycle) {
+                for &id in adversary.colluders() {
+                    let shard = &mut shards[IdLayout::shard_of(id) as usize];
+                    if shard.arena.get(id).is_none() {
+                        continue; // colluder crashed or departed
+                    }
+                    let slot = IdLayout::sharded_slot_of(id) as usize;
+                    match shard.hot.slots.get_mut(slot).filter(|r| r.is_hot()) {
+                        Some(record) => record.state = value,
+                        None => {
+                            if let Some(node) = shard.arena.get_mut(id) {
+                                node.corrupt_estimate(value);
+                            }
+                        }
+                    }
+                }
+            }
+            if let Some(state) = adversary.captured_state_at(*cycle) {
+                for &id in adversary.captured() {
+                    // A captured leader runs a led instance, so it is cold by
+                    // construction — the arena node is authoritative.
+                    let shard = &mut shards[IdLayout::shard_of(id) as usize];
+                    if let Some(node) = shard.arena.get_mut(id) {
+                        node.corrupt_instance(InstanceTag::from_leader(id), state);
+                    }
+                }
+            }
+        }
         for (pos, value) in self.injector.corruptions(self.global_live.len()) {
             let id = self.global_live[pos];
+            // One corruption per node per cycle: the stateful adversary's
+            // lie wins over a one-shot injection on the same node (it would
+            // overwrite the injection next cycle anyway).
+            if self.adversary.overrides_injection(self.cycle, id) {
+                continue;
+            }
             let shard = &mut self.shards[IdLayout::shard_of(id) as usize];
             let slot = IdLayout::sharded_slot_of(id) as usize;
             // A hot node's authoritative state lives in the mirror;
@@ -792,6 +882,7 @@ impl ShardedSimulation {
     /// and barriers that only pay off with real parallelism.
     fn run_cycle_sequential(&mut self, loss: f64) -> (Vec<ShardCycleOut>, usize) {
         let shard_count = self.config.shards;
+        let redundancy = self.config.base.redundancy.map(|r| r.merge);
         let lossy = loss > 0.0;
         let loss_seeds =
             // stream: per-exchange message-loss coins, re-derived each cycle
@@ -912,7 +1003,7 @@ impl ShardedSimulation {
         let outs = shards
             .iter_mut()
             .zip(tallies)
-            .map(|(shard, tally)| end_of_cycle_pass(shard, tally))
+            .map(|(shard, tally)| end_of_cycle_pass(shard, tally, redundancy))
             .collect();
         (outs, exchanges_blocked)
     }
@@ -977,6 +1068,7 @@ impl ShardedSimulation {
     ///   flushes its endpoints and takes the node path, then resyncs.
     fn run_cycle_sequential_soa(&mut self, loss: f64) -> (Vec<ShardCycleOut>, usize) {
         let shard_count = self.config.shards;
+        let redundancy = self.config.base.redundancy.map(|r| r.merge);
         let kind = self.config.base.protocol.aggregate();
         let cycles_per_epoch = self.config.base.protocol.cycles_per_epoch();
         let lossy = loss > 0.0;
@@ -1205,7 +1297,9 @@ impl ShardedSimulation {
         let outs = shards
             .iter_mut()
             .zip(tallies)
-            .map(|(shard, tally)| end_of_cycle_pass_soa(shard, tally, kind, cycles_per_epoch))
+            .map(|(shard, tally)| {
+                end_of_cycle_pass_soa(shard, tally, kind, cycles_per_epoch, redundancy)
+            })
             .collect();
         (outs, exchanges_blocked)
     }
@@ -1217,6 +1311,7 @@ impl ShardedSimulation {
         let (rounds, exchanges_blocked) = self.build_schedule();
         let shard_count = self.config.shards;
         let workers = self.effective_workers();
+        let redundancy = self.config.base.redundancy.map(|r| r.merge);
         let loss_seed_base = self.seeds.seed_for_labeled(self.cycle as u64, "cycle-loss");
 
         let mut outs: Vec<ShardCycleOut> =
@@ -1261,6 +1356,7 @@ impl ShardedSimulation {
                         shard_count,
                         loss,
                         loss_seed_base,
+                        redundancy,
                         barrier,
                         push_txs,
                         reply_txs,
@@ -1358,6 +1454,16 @@ impl ShardedSimulation {
     /// directory with an election-ordinal-derived stream — identical draws
     /// for every shard count.
     fn elect_leaders(&mut self) {
+        // A new epoch starts: last epoch's captured leaders died with their
+        // instances.
+        self.adversary.begin_epoch();
+        if let Some(redundancy) = self.config.base.redundancy {
+            // Elections read and mutate nodes directly; sync the mirror back
+            // first.
+            self.flush_soa();
+            self.elect_redundant_leaders(redundancy.instances);
+            return;
+        }
         let Some(policy) = self.config.base.leader_policy else {
             return;
         };
@@ -1376,6 +1482,7 @@ impl ShardedSimulation {
             if let Some(node) = self.shards[shard].arena.get_mut(id) {
                 if size_estimation::elect_leader(node, policy, previous, &mut rng) {
                     any_leader = true;
+                    self.adversary.observe_leader(id);
                 }
             }
         }
@@ -1386,7 +1493,42 @@ impl ShardedSimulation {
                 let shard = IdLayout::shard_of(id) as usize;
                 if let Some(node) = self.shards[shard].arena.get_mut(id) {
                     node.start_led_instance(InstanceTag::from_leader(node.id()), 1.0);
+                    self.adversary.observe_leader(id);
                 }
+            }
+        }
+    }
+
+    /// The redundant-instance election, draw-for-draw identical to the
+    /// reference engine's: exactly `min(k, live)` distinct leaders per
+    /// epoch, chosen by a partial Fisher–Yates over global directory
+    /// positions from the `redundancy-leaders` stream. Positions — not
+    /// identifiers — feed the draws, so the elected positions are invariant
+    /// across shard and worker counts.
+    fn elect_redundant_leaders(&mut self, instances: usize) {
+        let live = self.global_live.len();
+        if live == 0 {
+            return;
+        }
+        let k = instances.min(live);
+        let mut rng = self
+            .seeds
+            .rng_for_labeled(self.elections, crate::sampling::REDUNDANCY_STREAM);
+        self.elections += 1;
+        let mut positions: Vec<u32> = (0..live as u32).collect();
+        for i in 0..k {
+            let j = rng.gen_range(i..live);
+            positions.swap(i, j);
+        }
+        for &pos in &positions[..k] {
+            let id = self.global_live[pos as usize];
+            let shard = IdLayout::shard_of(id) as usize;
+            if let Some(node) = self.shards[shard].arena.get_mut(id) {
+                node.start_led_instance(
+                    InstanceTag::from_leader(id),
+                    CountInit::initial_value(true),
+                );
+                self.adversary.observe_leader(id);
             }
         }
     }
@@ -1468,7 +1610,26 @@ fn shard_pair_mut(shards: &mut [Shard], a: usize, b: usize) -> (&mut Shard, &mut
 /// then the telemetry pass — both shard-local, streamed into per-shard
 /// stats. Shared verbatim by the sequential and threaded executors so their
 /// outputs are bit-identical.
-fn end_of_cycle_pass(shard: &mut Shard, tally: ExchangeTally) -> ShardCycleOut {
+/// Per-node size-estimate extraction shared by the end-of-cycle passes:
+/// the defended estimator (median-of-k / trimmed merge over per-instance
+/// estimates) when redundancy is configured, the undefended state-pooling
+/// estimator otherwise. Runs on shard workers, so the policy is threaded in
+/// as a parameter rather than read from engine state.
+fn epoch_size_estimate(
+    result: &aggregate_core::EpochResult,
+    redundancy: Option<MergePolicy>,
+) -> Option<f64> {
+    match redundancy {
+        Some(merge) => redundant_size_estimate_from_epoch(result, merge).ok(),
+        None => size_estimation::size_estimate_from_epoch(result),
+    }
+}
+
+fn end_of_cycle_pass(
+    shard: &mut Shard,
+    tally: ExchangeTally,
+    redundancy: Option<MergePolicy>,
+) -> ShardCycleOut {
     let mut completed_epoch = None;
     let mut epoch_stats = OnlineStats::new();
     let mut size_stats = OnlineStats::new();
@@ -1490,7 +1651,7 @@ fn end_of_cycle_pass(shard: &mut Shard, tally: ExchangeTally) -> ShardCycleOut {
                 if let Some(estimate) = result.default_estimate() {
                     epoch_stats.push(estimate);
                 }
-                if let Some(size) = size_estimation::size_estimate_from_epoch(&result) {
+                if let Some(size) = epoch_size_estimate(&result, redundancy) {
                     size_stats.push(size);
                 }
             }
@@ -1527,6 +1688,7 @@ fn end_of_cycle_pass_soa(
     tally: ExchangeTally,
     kind: AggregateKind,
     cycles_per_epoch: u32,
+    redundancy: Option<MergePolicy>,
 ) -> ShardCycleOut {
     let mut completed_epoch = None;
     let mut epoch_stats = OnlineStats::new();
@@ -1585,7 +1747,7 @@ fn end_of_cycle_pass_soa(
                     if let Some(estimate) = result.default_estimate() {
                         epoch_stats.push(estimate);
                     }
-                    if let Some(size) = size_estimation::size_estimate_from_epoch(&result) {
+                    if let Some(size) = epoch_size_estimate(&result, redundancy) {
                         size_stats.push(size);
                     }
                 }
@@ -1626,6 +1788,10 @@ struct ShardWorker<'a> {
     /// by the fault injector; constant within a cycle).
     loss: f64,
     loss_seed_base: u64,
+    /// Merge policy of the redundant-instance defense, `None` for the
+    /// undefended estimator (coordinator-computed; workers must not read
+    /// engine state).
+    redundancy: Option<MergePolicy>,
     barrier: &'a Barrier,
     push_txs: Vec<crossbeam::channel::Sender<Vec<CrossPush>>>,
     reply_txs: Vec<crossbeam::channel::Sender<Vec<CrossReply>>>,
@@ -1642,6 +1808,7 @@ fn run_shard_worker(ctx: ShardWorker<'_>) {
         shard_count,
         loss,
         loss_seed_base,
+        redundancy,
         barrier,
         push_txs,
         reply_txs,
@@ -1784,7 +1951,7 @@ fn run_shard_worker(ctx: ShardWorker<'_>) {
         .zip(outs_chunk.iter_mut())
         .zip(tallies)
     {
-        *out = end_of_cycle_pass(shard, tally);
+        *out = end_of_cycle_pass(shard, tally, redundancy);
     }
 }
 
@@ -1945,6 +2112,7 @@ mod tests {
                 conditions: NetworkConditions::reliable(),
                 leader_policy: Some(LeaderPolicy::Fixed { probability: 0.01 }),
                 sampler: SamplerConfig::UniformComplete,
+                redundancy: None,
             },
             shards: 4,
             workers: None,

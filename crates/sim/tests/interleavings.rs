@@ -273,6 +273,7 @@ fn churny_run(
             conditions: NetworkConditions::with_message_loss(0.1),
             leader_policy: None,
             sampler: SamplerConfig::UniformComplete,
+            redundancy: None,
         },
         shards,
         workers,

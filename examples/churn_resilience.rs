@@ -27,6 +27,7 @@ fn scenario(label: &str, conditions: NetworkConditions, crash_cycle: Option<usiz
         conditions,
         leader_policy: None,
         sampler: SamplerConfig::UniformComplete,
+        redundancy: None,
     };
     let mut sim = GossipSimulation::new(config, &values, 99);
 

@@ -69,8 +69,8 @@ pub mod prelude {
     pub use aggregate_core::{theory, AggregationError, GossipMessage, ProtocolConfig};
     pub use gossip_analysis::{Summary, Table};
     pub use gossip_faults::{
-        CrashBurst, FaultInjector, FaultPlan, LossRamp, PartitionWindow, PlanInjector,
-        ValueInjection,
+        Adversary, AdversaryPlan, AttackStrategy, CrashBurst, FaultInjector, FaultPlan, LossRamp,
+        PartitionWindow, PlanInjector, ValueInjection,
     };
     pub use gossip_net::{
         ClusterConfig, ClusterReport, GossipCluster, GossipRuntime, NodeEnv, RuntimeStats,
@@ -80,9 +80,10 @@ pub mod prelude {
         ChurnReport, ChurnRunner, SizeEstimationScenario, VarianceExperiment,
     };
     pub use gossip_sim::{
-        AsyncConfig, AsyncSimulation, ChurnSchedule, GossipSimulation, NetworkConditions,
-        RobustnessPoint, RobustnessSweep, ShardedConfig, ShardedSimulation, SimConfigError,
-        SimError, SimulationConfig, ValueDistribution, WakeupDistribution,
+        AsyncConfig, AsyncSimulation, AttackDefensePoint, ChurnSchedule, GossipSimulation,
+        MergePolicy, NetworkConditions, RedundancyConfig, ReportError, RobustnessPoint,
+        RobustnessSweep, ShardedConfig, ShardedSimulation, SimConfigError, SimError,
+        SimulationConfig, ValueDistribution, WakeupDistribution,
     };
     pub use overlay_topology::{
         generators, CompleteTopology, Graph, NodeId, Topology, TopologyBuilder, TopologyKind,

@@ -1,0 +1,278 @@
+//! The Byzantine adversary lab's headline suite.
+//!
+//! Pins the error bounds of the paper's redundant-instance defense (Section
+//! 4's "run multiple instances and report the median") against the stateful
+//! adversaries of `gossip-faults`:
+//!
+//! * the acceptance bound — k = 5 instances, f = 2 captured leaders, 10⁴
+//!   nodes: the median-of-k size estimate stays within 10 % while the
+//!   undefended single-instance estimate diverges ≥ 5×;
+//! * the order-statistic bound behind it — f < ⌈k/2⌉ adversarial reports of
+//!   arbitrary amplitude never move the median outside the honest range;
+//! * the single-corruption rule — a one-shot [`ValueInjection`] composing
+//!   with an active colluder lie must not double-corrupt;
+//! * colluder membership as a pure position coin — identical across the
+//!   reference and sharded engines despite their different identifier
+//!   layouts;
+//! * the stateful/one-shot contrast — dilution absorbs a one-shot injection
+//!   but never outruns a persistent lie.
+
+use epidemic_aggregation::core::redundancy::merge_estimates;
+use epidemic_aggregation::prelude::*;
+use epidemic_aggregation::sim::robustness::attack_defense_sweep;
+use epidemic_aggregation::sim::sampling::ADVERSARY_STREAM;
+use epidemic_aggregation::sim::SeedSequence;
+
+/// The issue's acceptance bound, pinned at CI-smoke scale: 10⁴ nodes,
+/// k = 5 redundant counting instances, f = 2 captured leaders re-asserting a
+/// state 20× too large. The defended estimate must stay within 10 % of the
+/// true size; the undefended single-instance estimate must be off by ≥ 5×.
+#[test]
+fn median_of_five_bounds_size_error_under_two_captured_leaders_at_10k() {
+    let nodes = 10_000usize;
+    let points =
+        attack_defense_sweep(nodes, 30, 5, 2, &[20.0], 20040102).expect("sweep completes an epoch");
+    assert_eq!(points.len(), 1);
+    let point = points[0];
+
+    assert!(
+        point.defended_error <= 0.10,
+        "median-of-5 error {} exceeds the 10% acceptance bound",
+        point.defended_error
+    );
+    let n = nodes as f64;
+    assert!(
+        point.undefended_estimate * 5.0 <= n || point.undefended_estimate >= 5.0 * n,
+        "undefended estimate {} should be off by at least 5× (true size {n})",
+        point.undefended_estimate
+    );
+    assert!(
+        point.undefended_error >= 5.0 * point.defended_error.max(0.01),
+        "undefended error {} should diverge ≥5× past the defended {}",
+        point.undefended_error,
+        point.defended_error
+    );
+}
+
+/// The bound the defense rests on, swept across odd and even k: with
+/// f < ⌈k/2⌉ adversarial reports of arbitrary amplitude and sign, the median
+/// never escapes the honest reports' range — equivalently, f captured
+/// instances shift the median by no more than the honest spread around the
+/// (⌈k/2⌉)-th order statistic.
+#[test]
+fn median_shift_is_bounded_for_every_minority_capture() {
+    for k in 1..=9usize {
+        for f in 0..k.div_ceil(2) {
+            let honest: Vec<f64> = (0..k - f).map(|i| 100.0 + i as f64).collect();
+            let (lo, hi) = (honest[0], honest[honest.len() - 1]);
+            for amplitude in [1e12, -1e12, 0.0, 101.5] {
+                // Worst cases: all f reports stacked on one side, and split.
+                for low_side in 0..=f {
+                    let mut reports = honest.clone();
+                    reports.extend(std::iter::repeat(-amplitude).take(low_side));
+                    reports.extend(std::iter::repeat(amplitude).take(f - low_side));
+                    let merged = merge_estimates(&reports, MergePolicy::Median)
+                        .expect("finite reports merge");
+                    assert!(
+                        (lo..=hi).contains(&merged),
+                        "k={k} f={f} amplitude={amplitude}: median {merged} escaped \
+                         the honest range [{lo}, {hi}]"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Degenerate defenses are rejected up front with typed errors, and a plan
+/// asserting a non-finite lie never reaches an engine: NaN cannot enter the
+/// merge through either door.
+#[test]
+fn non_finite_attacks_and_empty_defenses_are_rejected_before_running() {
+    let protocol = ProtocolConfig::builder().build().unwrap();
+    let values = vec![1.0; 8];
+
+    let config = SimulationConfig {
+        redundancy: Some(RedundancyConfig::median_of(0)),
+        ..SimulationConfig::averaging(protocol)
+    };
+    assert!(
+        GossipSimulation::try_new(config, &values, 1).is_err(),
+        "a zero-instance defense must be rejected at construction"
+    );
+
+    let nan_lie = AdversaryPlan::with_strategy(0.1, AttackStrategy::FixedLie { value: f64::NAN });
+    assert!(nan_lie.validate().is_err(), "NaN lies must not validate");
+    assert!(GossipSimulation::with_adversary(
+        SimulationConfig::averaging(protocol),
+        &values,
+        1,
+        FaultPlan::none(),
+        nan_lie,
+    )
+    .is_err());
+}
+
+/// Satellite regression: one corruption per node per cycle. A node that a
+/// `ValueInjection` targets while the adversary is actively lying through it
+/// keeps the adversary's value; every other victim gets the injection.
+/// Message loss 1.0 freezes the exchange phase, so the post-cycle estimates
+/// are exactly the corruption outcome — any double-corruption would show.
+#[test]
+fn value_injection_composes_with_colluders_without_double_corruption() {
+    let n = 64usize;
+    let protocol = ProtocolConfig::builder()
+        .cycles_per_epoch(100)
+        .build()
+        .unwrap();
+    let config = SimulationConfig {
+        conditions: NetworkConditions::with_message_loss(1.0),
+        ..SimulationConfig::averaging(protocol)
+    };
+    let values = vec![1.0; n];
+    let plan = FaultPlan {
+        injections: vec![ValueInjection {
+            cycle: 0,
+            fraction: 1.0,
+            value: 100.0,
+        }],
+        ..FaultPlan::default()
+    };
+    let adversary = AdversaryPlan::with_strategy(0.5, AttackStrategy::FixedLie { value: 7.0 });
+
+    let mut sim =
+        GossipSimulation::with_adversary(config, &values, 2026, plan.clone(), adversary).unwrap();
+    let colluders = sim.adversary().colluders().len();
+    assert!(
+        colluders > 0 && colluders < n,
+        "the regression needs a mixed population, got {colluders}/{n} colluders"
+    );
+    sim.run(1);
+    let estimates = sim.estimates();
+    assert_eq!(estimates.len(), n);
+    for (position, &estimate) in estimates.iter().enumerate() {
+        if sim.adversary().is_colluder(NodeId::new(position)) {
+            assert_eq!(
+                estimate, 7.0,
+                "colluder at position {position} must keep the adversary's lie"
+            );
+        } else {
+            assert_eq!(
+                estimate, 100.0,
+                "honest victim at position {position} must get the one-shot injection"
+            );
+        }
+    }
+
+    // Outside the attack window the rule is inert: the same composition with
+    // a not-yet-active adversary injects everyone, colluders included.
+    let dormant = AdversaryPlan {
+        start_cycle: 10,
+        ..AdversaryPlan::with_strategy(0.5, AttackStrategy::FixedLie { value: 7.0 })
+    };
+    let mut sim = GossipSimulation::with_adversary(config, &values, 2026, plan, dormant).unwrap();
+    sim.run(1);
+    assert!(
+        sim.estimates().iter().all(|&estimate| estimate == 100.0),
+        "with the attack window closed, the injection must reach every node"
+    );
+}
+
+/// Colluder membership is a pure coin on initial-directory *positions*, so
+/// the realised set is identical across engines whose identifier layouts
+/// differ: the reference engine (ids are positions) and the sharded engine
+/// at any shard count (ids embed the shard layout) agree with the coin.
+#[test]
+fn colluder_sets_are_position_keyed_and_engine_invariant() {
+    let n = 400usize;
+    let seed = 97u64;
+    let plan = AdversaryPlan::with_strategy(0.2, AttackStrategy::FixedLie { value: 50.0 });
+    let coin_seed = SeedSequence::new(seed).seed_for_labeled(0, ADVERSARY_STREAM);
+    let expected: Vec<usize> = (0..n).filter(|&p| plan.colludes_at(coin_seed, p)).collect();
+    assert!(
+        !expected.is_empty() && expected.len() < n,
+        "fraction 0.2 of {n} should realise a proper subset, got {}",
+        expected.len()
+    );
+
+    let protocol = ProtocolConfig::builder().build().unwrap();
+    let values = vec![1.0; n];
+    let reference = GossipSimulation::with_adversary(
+        SimulationConfig::averaging(protocol),
+        &values,
+        seed,
+        FaultPlan::none(),
+        plan,
+    )
+    .unwrap();
+    let reference_positions: Vec<usize> = reference
+        .adversary()
+        .colluders()
+        .iter()
+        .map(|id| id.as_u32() as usize)
+        .collect();
+    assert_eq!(
+        reference_positions, expected,
+        "reference-engine colluders must be exactly the coin's positions"
+    );
+
+    for shards in [1usize, 2, 4, 8] {
+        let config = ShardedConfig {
+            base: SimulationConfig::averaging(protocol),
+            shards,
+            workers: Some(1),
+        };
+        let sharded =
+            ShardedSimulation::with_adversary(config, &values, seed, FaultPlan::none(), plan)
+                .unwrap();
+        assert_eq!(
+            sharded.adversary().colluders().len(),
+            expected.len(),
+            "{shards}-shard engine must realise the same colluding set size"
+        );
+    }
+}
+
+/// The contrast motivating the stateful lab: the protocol dilutes a one-shot
+/// injection into a bounded, converged offset, but a colluding set
+/// re-asserting the same lie every cycle keeps pumping mass in — the
+/// stateful displacement strictly outruns the one-shot one.
+#[test]
+fn a_stateful_lie_outruns_the_one_shot_injection_it_generalises() {
+    let n = 1_000usize;
+    let protocol = ProtocolConfig::builder()
+        .cycles_per_epoch(200)
+        .build()
+        .unwrap();
+    let config = SimulationConfig::averaging(protocol);
+    let values = vec![1.0; n];
+    let (fraction, lie, seed) = (0.05, 100.0, 4242);
+
+    let one_shot_plan = FaultPlan {
+        injections: vec![ValueInjection {
+            cycle: 0,
+            fraction,
+            value: lie,
+        }],
+        ..FaultPlan::default()
+    };
+    let mut one_shot = GossipSimulation::with_faults(config, &values, seed, one_shot_plan).unwrap();
+    let one_shot_mean = one_shot.run(30).pop().unwrap().estimate_mean;
+    // Mass conservation bounds the one-shot attack: ~5% of nodes set to 100
+    // once can only move the average to about 1 + 0.05·99 ≈ 6.
+    assert!(
+        one_shot_mean < 10.0,
+        "a one-shot injection is diluted to a bounded offset, got mean {one_shot_mean}"
+    );
+
+    let stateful = AdversaryPlan::with_strategy(fraction, AttackStrategy::FixedLie { value: lie });
+    let mut persistent =
+        GossipSimulation::with_adversary(config, &values, seed, FaultPlan::none(), stateful)
+            .unwrap();
+    let stateful_mean = persistent.run(30).pop().unwrap().estimate_mean;
+    assert!(
+        stateful_mean > 2.0 * one_shot_mean,
+        "30 cycles of re-asserted lies (mean {stateful_mean}) must outrun the diluted \
+         one-shot attack (mean {one_shot_mean})"
+    );
+}

@@ -183,6 +183,7 @@ fn sharded_summaries_with(
             conditions: NetworkConditions::with_message_loss(message_loss),
             leader_policy: None,
             sampler,
+            redundancy: None,
         },
         shards,
         workers,
@@ -322,6 +323,7 @@ fn soa_executor_matches_threaded_executor_with_leaders_loss_and_churn() {
                 conditions: NetworkConditions::with_message_loss(0.05),
                 leader_policy: Some(LeaderPolicy::Fixed { probability: 0.02 }),
                 sampler: SamplerConfig::UniformComplete,
+                redundancy: None,
             },
             shards: 4,
             workers: Some(workers),
@@ -371,6 +373,7 @@ fn sharded_size_estimation_is_shard_count_invariant_without_loss() {
                 conditions: NetworkConditions::reliable(),
                 leader_policy: Some(LeaderPolicy::Fixed { probability: 0.02 }),
                 sampler: SamplerConfig::UniformComplete,
+                redundancy: None,
             },
             shards,
             workers: None,
@@ -471,6 +474,7 @@ fn empty_fault_plan_reproduces_the_pre_fault_lab_goldens() {
             conditions: NetworkConditions::with_message_loss(0.1),
             leader_policy: None,
             sampler: SamplerConfig::UniformComplete,
+            redundancy: None,
         },
         shards: 3,
         workers: None,
@@ -491,6 +495,77 @@ fn empty_fault_plan_reproduces_the_pre_fault_lab_goldens() {
     assert_eq!(
         fnv, 0x64bd_b10a_57df_4315,
         "empty-plan sharded run drifted from the pre-fault-lab trajectory"
+    );
+}
+
+/// Adversary-lab refactor pin: the engines now also carry a stateful
+/// [`AdversaryPlan`], with the empty plan as the default. The empty
+/// adversary consumes no seed stream and touches no node, so an explicit
+/// `AdversaryPlan::none()` must reproduce the same golden pre-refactor
+/// trajectories as [`empty_fault_plan_reproduces_the_pre_fault_lab_goldens`]
+/// on both cycle engines, churn and message loss included.
+#[test]
+fn empty_adversary_plan_reproduces_the_pre_adversary_lab_goldens() {
+    // Reference engine, seed 77 (same harness as simulation_summaries).
+    let values: Vec<f64> = (0..400).map(|i| (i % 53) as f64).collect();
+    let protocol = ProtocolConfig::builder()
+        .cycles_per_epoch(10)
+        .build()
+        .unwrap();
+    let mut sim = GossipSimulation::with_adversary(
+        SimulationConfig::averaging(protocol),
+        &values,
+        77,
+        FaultPlan::none(),
+        AdversaryPlan::none(),
+    )
+    .unwrap();
+    assert!(sim.adversary().is_empty());
+    let last = sim.run(25).pop().unwrap();
+    assert_eq!(last.estimate_mean.to_bits(), 0x4039_2147_ae14_7adf);
+    assert_eq!(last.estimate_variance.to_bits(), 0x3fe0_b58d_981d_4c54);
+
+    // Sharded engine with churn + loss, seed 2024 / 3 shards (same harness
+    // as sharded_summaries): the golden FNV over all node estimates.
+    let values: Vec<f64> = (0..300).map(|i| (i % 37) as f64).collect();
+    let protocol = ProtocolConfig::builder()
+        .cycles_per_epoch(8)
+        .build()
+        .unwrap();
+    let config = ShardedConfig {
+        base: SimulationConfig {
+            protocol,
+            conditions: NetworkConditions::with_message_loss(0.1),
+            leader_policy: None,
+            sampler: SamplerConfig::UniformComplete,
+            redundancy: None,
+        },
+        shards: 3,
+        workers: None,
+    };
+    let mut sim = ShardedSimulation::with_adversary(
+        config,
+        &values,
+        2024,
+        FaultPlan::none(),
+        AdversaryPlan::none(),
+    )
+    .unwrap();
+    for cycle in 0..30 {
+        for i in 0..5 {
+            sim.add_node((cycle * 5 + i) as f64);
+        }
+        sim.remove_random_nodes(5);
+        sim.run_cycle();
+    }
+    let mut fnv: u64 = 0xcbf2_9ce4_8422_2325;
+    for v in sim.estimates() {
+        fnv ^= v.to_bits();
+        fnv = fnv.wrapping_mul(0x1000_0000_01b3);
+    }
+    assert_eq!(
+        fnv, 0x64bd_b10a_57df_4315,
+        "empty-adversary sharded run drifted from the pre-adversary-lab trajectory"
     );
 }
 

@@ -175,6 +175,7 @@ fn maximum_spreads_to_all_nodes_despite_message_loss() {
         conditions: NetworkConditions::with_message_loss(0.2),
         leader_policy: None,
         sampler: SamplerConfig::UniformComplete,
+        redundancy: None,
     };
     let mut sim = GossipSimulation::new(config, &values, 23);
     sim.run(20);
