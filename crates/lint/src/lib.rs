@@ -128,6 +128,7 @@ impl Engine {
             rules::nondeterminism::check_file(file, &mut raw);
             rules::unwrap_free::check_file(file, &mut raw);
             rules::merge_order::check_file(file, &mut raw);
+            rules::observer_effect::check_file(file, &mut raw);
         }
         let catalog = rules::seed_streams::check_workspace(&self.files, &mut raw);
         rules::unsafe_safety::check_workspace(&self.files, &mut raw);

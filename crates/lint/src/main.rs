@@ -140,6 +140,10 @@ fn print_rules() {
          \x20                 // SAFETY: comments required where unsafe exists"
     );
     println!(
+        "  observer-effect telemetry is write-only in protocol crates: no reads of\n\
+         \x20                 sink/registry state that could steer the protocol"
+    );
+    println!(
         "  (driver)        stale-allow / malformed-allow: lint-allow annotations must\n\
          \x20                 carry a reason and match a live violation"
     );

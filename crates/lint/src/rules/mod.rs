@@ -7,6 +7,7 @@
 //! | `unwrap` | no `unwrap`/`expect`/`panic!` in non-test library code |
 //! | `merge-order` | concurrent results merge through a seq-sorted path only |
 //! | `unsafe-safety` | `#![forbid(unsafe_code)]` everywhere, `SAFETY:` where not |
+//! | `observer-effect` | telemetry is write-only in protocol crates; reads stay post-hoc |
 //!
 //! Each rule walks the pre-lexed [`SourceFile`](crate::source::SourceFile)
 //! views; none of them re-read the filesystem. Suppression and stale-allow
@@ -15,6 +16,7 @@
 
 pub mod merge_order;
 pub mod nondeterminism;
+pub mod observer_effect;
 pub mod seed_streams;
 pub mod unsafe_safety;
 pub mod unwrap_free;
@@ -37,7 +39,8 @@ pub struct Finding {
     /// 1-based line number.
     pub line: usize,
     /// Rule name (`nondeterminism`, `seed-streams`, `unwrap`, `merge-order`,
-    /// `unsafe-safety`, or the driver's `stale-allow` / `malformed-allow`).
+    /// `unsafe-safety`, `observer-effect`, or the driver's `stale-allow` /
+    /// `malformed-allow`).
     pub rule: String,
     /// Human-readable description of the violation.
     pub message: String,

@@ -1,0 +1,133 @@
+//! Rule `observer-effect`: telemetry is write-only inside protocol crates.
+//!
+//! The flight recorder's whole guarantee is that switching tracing on or off
+//! never changes a single protocol bit (`tests/determinism.rs` pins this).
+//! That holds only if protocol code treats the `TelemetrySink` facade as a
+//! one-way mirror: it may *record* (`exchange_begun`, `node_departed`,
+//! `observe_variance`, …) but must never *read back* what was recorded —
+//! a branch on a counter, a verdict or a drained event would let the
+//! observer steer the experiment, and the disabled path would diverge.
+//!
+//! Two checks, applied to every protocol crate outside tests:
+//!
+//! 1. **no read-backs** — calls to the sink/registry read surface
+//!    ([`READ_CALLS`]) are flagged. Post-hoc export accessors (drain-for-
+//!    observers, verdict getters) are the legitimate exception and carry a
+//!    `lint-allow(observer-effect)` with a reason.
+//! 2. **facade only** — telemetry state is owned by `TelemetrySink`;
+//!    constructing a raw `MetricsRegistry`/`ConvergenceWatchdog` in a
+//!    protocol crate bypasses the single enable/disable switch that the
+//!    bit-identity pins rely on.
+//!
+//! `TelemetrySink` itself (crate `telemetry`) is not a protocol crate, so
+//! the sink's internal reads are out of scope by construction.
+
+use super::{Finding, PROTOCOL_CRATES};
+use crate::source::SourceFile;
+
+/// Rule name as used in diagnostics and `lint-allow`.
+pub const NAME: &str = "observer-effect";
+
+/// Method-call patterns of the telemetry read surface. The leading dot keeps
+/// definitions (`pub fn watchdog_verdict(…)`) out of scope — only call sites
+/// fire.
+pub const READ_CALLS: &[&str] = &[
+    ".drain_events(",
+    ".drain_events_with(",
+    ".dropped_events(",
+    ".watchdog_verdict(",
+    ".diagnoses(",
+    ".metrics(",
+    ".metrics_mut(",
+];
+
+/// Raw telemetry state types that must stay behind the sink facade.
+pub const FACADE_BYPASSES: &[&str] = &["MetricsRegistry::", "ConvergenceWatchdog::"];
+
+/// Runs the rule over one file, appending raw (pre-suppression) findings.
+pub fn check_file(file: &SourceFile, out: &mut Vec<Finding>) {
+    if !PROTOCOL_CRATES.contains(&file.crate_name.as_str()) {
+        return;
+    }
+    for (idx, line) in file.code.iter().enumerate() {
+        if file.in_test(idx) {
+            continue;
+        }
+        if let Some(call) = READ_CALLS.iter().find(|c| line.contains(*c)) {
+            let method = call.trim_start_matches('.').trim_end_matches('(');
+            out.push(Finding::new(
+                &file.rel,
+                idx + 1,
+                NAME,
+                format!(
+                    "telemetry read `{method}` in a protocol crate: recording must be \
+                     write-only so tracing cannot steer the protocol; if this is a \
+                     post-hoc export accessor, justify it with a lint-allow"
+                ),
+            ));
+            continue;
+        }
+        if let Some(path) = FACADE_BYPASSES.iter().find(|p| line.contains(*p)) {
+            let ty = path.trim_end_matches(':');
+            out.push(Finding::new(
+                &file.rel,
+                idx + 1,
+                NAME,
+                format!(
+                    "`{ty}` used directly in a protocol crate: telemetry state belongs \
+                     behind `TelemetrySink`, whose single disabled() switch keeps the \
+                     untraced path bit-identical"
+                ),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(rel: &str, src: &str) -> Vec<Finding> {
+        let f = SourceFile::parse(rel, src);
+        let mut out = Vec::new();
+        check_file(&f, &mut out);
+        out
+    }
+
+    #[test]
+    fn read_back_is_flagged_recording_is_not() {
+        let bad = "if sink.watchdog_verdict().is_some() {\n    restart();\n}\n";
+        let found = run("crates/sim/src/x.rs", bad);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].line, 1);
+        assert!(found[0].message.contains("watchdog_verdict"));
+
+        let good = "sink.exchange_begun(seq, a, b);\nsink.observe_variance(cycle, v);\n";
+        assert!(run("crates/sim/src/x.rs", good).is_empty());
+    }
+
+    #[test]
+    fn method_definitions_do_not_fire() {
+        let src = "pub fn watchdog_verdict(&self) -> Option<WatchdogVerdict> {\n";
+        assert!(run("crates/net/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn facade_bypass_is_flagged() {
+        let bad = "let registry = MetricsRegistry::new();\n";
+        let found = run("crates/core/src/x.rs", bad);
+        assert_eq!(found.len(), 1);
+        assert!(found[0].message.contains("MetricsRegistry"));
+    }
+
+    #[test]
+    fn non_protocol_crates_and_tests_are_out_of_scope() {
+        let src = "let v = sink.drain_events();\n";
+        assert!(run("crates/telemetry/src/x.rs", src).is_empty());
+        assert!(run("crates/analysis/src/x.rs", src).is_empty());
+
+        let in_test =
+            "#[cfg(test)]\nmod tests {\n    fn t(sink: &mut S) { sink.drain_events(); }\n}\n";
+        assert!(run("crates/sim/src/x.rs", in_test).is_empty());
+    }
+}

@@ -39,6 +39,9 @@ const EXPECTED: &[(&str, usize, &str)] = &[
     ("crates/sim/src/merge.rs", 4, "merge-order"),
     ("crates/sim/src/merge.rs", 14, "merge-order"),
     ("crates/sim/src/merge.rs", 19, "seed-streams"),
+    ("crates/sim/src/telem.rs", 4, "observer-effect"),
+    ("crates/sim/src/telem.rs", 8, "observer-effect"),
+    ("crates/sim/src/telem.rs", 14, "observer-effect"),
 ];
 
 #[test]
@@ -50,7 +53,7 @@ fn fixture_findings_are_exact() {
         .map(|f| (f.file.as_str(), f.line, f.rule.as_str()))
         .collect();
     assert_eq!(got, EXPECTED, "full findings: {:#?}", report.findings);
-    assert_eq!(report.files_checked, 4);
+    assert_eq!(report.files_checked, 5);
 }
 
 #[test]
@@ -69,6 +72,8 @@ fn fixture_messages_name_the_offending_token() {
     assert!(message_at("crates/net/src/lib.rs", 9).contains("net, sim"));
     assert!(message_at("crates/faults/src/lib.rs", 4).contains("SAFETY:"));
     assert!(message_at("crates/net/src/lib.rs", 1).contains("#![forbid(unsafe_code)]"));
+    assert!(message_at("crates/sim/src/telem.rs", 4).contains("watchdog_verdict"));
+    assert!(message_at("crates/sim/src/telem.rs", 14).contains("MetricsRegistry"));
 }
 
 #[test]
@@ -106,7 +111,7 @@ fn fixture_json_report_round_trips_counts() {
     let doc = json::render(&report);
     assert!(doc.contains("\"version\": 1"));
     assert!(
-        doc.contains("\"summary\": {\"files_checked\": 4, \"findings\": 14, \"suppressed\": 1}")
+        doc.contains("\"summary\": {\"files_checked\": 5, \"findings\": 17, \"suppressed\": 1}")
     );
     assert!(doc.contains("\"rule\": \"merge-order\""));
     assert!(doc.contains("\"reason\": \"keyed lookup only; never iterated\""));

@@ -1,0 +1,15 @@
+//! Fixture: observer-effect violations — telemetry reads steering protocol.
+
+pub fn decide(sink: &TelemetrySink) -> bool {
+    sink.watchdog_verdict().is_some()
+}
+
+pub fn shortcut(sink: &mut Sim) {
+    if sink.telemetry.metrics().render().is_empty() {
+        sink.restart_epoch();
+    }
+}
+
+pub fn bypass() -> MetricsRegistry {
+    MetricsRegistry::new()
+}

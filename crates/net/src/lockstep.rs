@@ -29,6 +29,7 @@ use gossip_analysis::OnlineStats;
 use gossip_faults::{Adversary, AdversaryPlan, FaultInjector, FaultPlan, PlanInjector};
 use gossip_sim::sampling::{ADVERSARY_STREAM, FAULTS_STREAM, REDUNDANCY_STREAM};
 use gossip_sim::{instantiate_sampler, CycleSummary, SimConfigError, SimulationConfig};
+use gossip_telemetry::{Event, TelemetryConfig, TelemetrySink};
 use overlay_topology::NodeId;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -118,6 +119,11 @@ pub struct VirtualCluster {
     elections: u64,
     last_size_estimate: Option<f64>,
     scratch_pushes: Vec<GossipMessage>,
+    /// The observability sink: same event schema as the cycle engines,
+    /// timestamped from this cluster's virtual clock. Disabled by default;
+    /// recording consumes no randomness, so enabling it never perturbs the
+    /// wire-path trajectory.
+    telemetry: TelemetrySink,
 }
 
 impl VirtualCluster {
@@ -220,9 +226,40 @@ impl VirtualCluster {
             elections: 0,
             last_size_estimate: None,
             scratch_pushes: Vec::new(),
+            telemetry: TelemetrySink::new(TelemetryConfig::disabled()),
         };
         cluster.elect_leaders();
         Ok(cluster)
+    }
+
+    /// Installs (or replaces) the telemetry sink. With
+    /// [`TelemetryConfig::disabled`] — the construction default — every hook
+    /// is a single branch and the run stays bit-identical to the reference
+    /// engine's trajectory.
+    pub fn set_telemetry(&mut self, config: TelemetryConfig) {
+        self.telemetry = TelemetrySink::new(config);
+        self.telemetry
+            .begin_cycle(self.cycle as u64, self.clock.now_ms());
+    }
+
+    /// Drains the recorded events in canonical trace order.
+    pub fn drain_trace(&mut self) -> Vec<Event> {
+        self.telemetry.drain_events() // lint-allow(observer-effect): post-hoc export accessor for runners/tests, not protocol logic
+    }
+
+    /// The convergence watchdog's current verdict, if one is configured.
+    pub fn watchdog_verdict(&self) -> Option<gossip_telemetry::WatchdogVerdict> {
+        self.telemetry.watchdog_verdict() // lint-allow(observer-effect): post-hoc diagnosis accessor for runners/tests, not protocol logic
+    }
+
+    /// Every verdict transition the watchdog has diagnosed so far.
+    pub fn watchdog_diagnoses(&self) -> &[gossip_telemetry::Diagnosis] {
+        self.telemetry.diagnoses() // lint-allow(observer-effect): post-hoc diagnosis accessor for runners/tests, not protocol logic
+    }
+
+    /// The accumulated telemetry counters (post-hoc readout).
+    pub fn telemetry_metrics(&self) -> &gossip_telemetry::MetricsRegistry {
+        self.telemetry.metrics() // lint-allow(observer-effect): post-hoc metrics accessor for runners/tests, not protocol logic
     }
 
     /// The peer-sampling configuration partners are drawn from.
@@ -284,11 +321,21 @@ impl VirtualCluster {
         // captured leaders re-assert the false state into their instances.
         // Pure — no RNG — so the empty plan stays bit-identical.
         if let Some(value) = self.adversary.lie_at(self.cycle) {
-            for &id in self.adversary.colluders() {
+            let VirtualCluster {
+                adversary,
+                nodes,
+                telemetry,
+                ..
+            } = self;
+            let record = telemetry.events_enabled();
+            for &id in adversary.colluders() {
                 let slot = id.as_u32() as usize;
-                if slot < self.nodes.len() {
-                    if let Some(core) = self.nodes[slot].as_mut() {
+                if slot < nodes.len() {
+                    if let Some(core) = nodes[slot].as_mut() {
                         core.corrupt_estimate(value);
+                        if record {
+                            telemetry.value_corrupted(u64::from(id.as_u32()));
+                        }
                     }
                 }
             }
@@ -314,6 +361,9 @@ impl VirtualCluster {
             }
             if let Some(core) = self.nodes[slot].as_mut() {
                 core.corrupt_estimate(value);
+                if self.telemetry.events_enabled() {
+                    self.telemetry.value_corrupted(u64::from(id.as_u32()));
+                }
             }
         }
         let loss = self.injector.loss_probability();
@@ -355,6 +405,12 @@ impl VirtualCluster {
             if self.injector.link_blocked(initiator_id, peer_id) {
                 self.sampler.peer_failed(initiator_id, peer_id);
                 exchanges_blocked += 1;
+                if self.telemetry.events_enabled() {
+                    self.telemetry.exchange_vetoed(
+                        u64::from(initiator_id.as_u32()),
+                        u64::from(peer_id.as_u32()),
+                    );
+                }
                 continue;
             }
             let peer_slot = peer_id.as_u32() as usize;
@@ -369,6 +425,15 @@ impl VirtualCluster {
                 continue;
             }
             tally.exchanges += 1;
+            let seq = (tally.exchanges - 1) as u64;
+            let lost_before = tally.messages_lost;
+            if self.telemetry.events_enabled() {
+                self.telemetry.exchange_begun(
+                    seq,
+                    u64::from(initiator_id.as_u32()),
+                    u64::from(peer_id.as_u32()),
+                );
+            }
             // Ship each push over the wire, delivering at the peer as it
             // lands; the loss coins are drawn in the exact order the
             // engine's `ExchangeCore::respond` draws them — push, then (if a
@@ -422,6 +487,15 @@ impl VirtualCluster {
                 // lint-allow(unwrap): slot liveness checked when the schedule entry was drawn
                 .expect("checked above")
                 .close_pending();
+            if self.telemetry.events_enabled() {
+                let lost_now = tally.messages_lost - lost_before;
+                for _ in 0..lost_now {
+                    self.telemetry.message_lost(seq);
+                }
+                if lost_now == 0 {
+                    self.telemetry.exchange_completed(seq);
+                }
+            }
             self.scratch_pushes = pushes;
         }
         let ExchangeTally {
@@ -466,7 +540,10 @@ impl VirtualCluster {
             self.last_size_estimate = Some(mean);
         }
 
-        if completed_epoch.is_some() {
+        if let Some(epoch) = completed_epoch {
+            if self.telemetry.events_enabled() {
+                self.telemetry.epoch_restarted(epoch);
+            }
             self.elect_leaders();
         }
 
@@ -492,8 +569,14 @@ impl VirtualCluster {
             epoch_estimates,
             epoch_size_estimates,
         };
+        self.telemetry
+            .observe_variance(self.cycle as u64, summary.estimate_variance);
         self.cycle += 1;
         self.clock.advance(self.config.protocol.cycle_length_ms());
+        // Open the next cycle's recording context — inter-cycle churn lands
+        // in that cycle's start band, mirroring the reference engine.
+        self.telemetry
+            .begin_cycle(self.cycle as u64, self.clock.now_ms());
         summary
     }
 
@@ -519,6 +602,9 @@ impl VirtualCluster {
             }
             self.live_pos[slot as usize] = NOT_LIVE;
             self.nodes[slot as usize] = None;
+            if self.telemetry.events_enabled() {
+                self.telemetry.node_departed(u64::from(slot));
+            }
             self.sampler.on_depart(NodeId::from_u32(slot));
         }
     }
@@ -543,14 +629,19 @@ impl VirtualCluster {
             live,
             rng,
             adversary,
+            telemetry,
             ..
         } = self;
+        let record = telemetry.events_enabled();
         let mut any_leader = false;
         for &slot in live.iter() {
             if let Some(core) = nodes[slot as usize].as_mut() {
                 if size_estimation::elect_leader(core.node_mut(), policy, previous, rng) {
                     any_leader = true;
                     adversary.observe_leader(core.id());
+                    if record {
+                        telemetry.leader_elected(u64::from(core.id().as_u32()));
+                    }
                 }
             }
         }
@@ -560,6 +651,9 @@ impl VirtualCluster {
                     let tag = InstanceTag::from_leader(core.id());
                     core.node_mut().start_led_instance(tag, 1.0);
                     adversary.observe_leader(core.id());
+                    if record {
+                        telemetry.leader_elected(u64::from(core.id().as_u32()));
+                    }
                 }
             }
         }
@@ -592,6 +686,9 @@ impl VirtualCluster {
                     CountInit::initial_value(true),
                 );
                 self.adversary.observe_leader(id);
+                if self.telemetry.events_enabled() {
+                    self.telemetry.leader_elected(u64::from(id.as_u32()));
+                }
             }
         }
     }

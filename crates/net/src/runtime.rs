@@ -19,6 +19,7 @@ use aggregate_core::{GossipMessage, ProtocolConfig};
 use gossip_faults::{Adversary, AdversaryPlan, FaultInjector, FaultPlan, PlanInjector};
 use gossip_sim::instantiate_sampler;
 use gossip_sim::sampling::{ADVERSARY_STREAM, FAULTS_STREAM};
+use gossip_telemetry::{Event, TelemetryConfig, TelemetrySink};
 use overlay_topology::NodeId;
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
@@ -120,12 +121,28 @@ impl StatsCell {
     }
 }
 
+/// A periodic, point-in-time view of one live node: the current cycle
+/// ordinal and estimate alongside the typed counters — the mid-run
+/// visibility [`RuntimeStats`] alone (an end-of-run readout) cannot give.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Cycle boundaries crossed so far (the node's logical time).
+    pub cycle: u64,
+    /// The epoch the node is currently executing.
+    pub epoch: u64,
+    /// The node's current estimate of the aggregate, if it holds one.
+    pub estimate: Option<f64>,
+    /// The typed event counters at snapshot time.
+    pub stats: RuntimeStats,
+}
+
 /// Shared, thread-safe view of a running node's state.
 #[derive(Debug, Clone)]
 pub struct NodeHandle {
     id: NodeId,
     node: Arc<Mutex<NodeCore>>,
     stats: Arc<StatsCell>,
+    telemetry: Arc<Mutex<TelemetrySink>>,
 }
 
 impl NodeHandle {
@@ -154,6 +171,36 @@ impl NodeHandle {
     pub fn stats(&self) -> RuntimeStats {
         self.stats.snapshot()
     }
+
+    /// A periodic mid-run snapshot: current cycle, epoch, estimate and the
+    /// typed counters in one consistent read (the counters and node state
+    /// are sampled back to back, not atomically — good enough for the
+    /// monitoring this serves).
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let (epoch, estimate) = {
+            let core = self.node.lock();
+            (core.current_epoch(), core.estimate())
+        };
+        let stats = self.stats.snapshot();
+        MetricsSnapshot {
+            cycle: stats.cycles_run,
+            epoch,
+            estimate,
+            stats,
+        }
+    }
+
+    /// Drains this node's flight recorder in canonical trace order. Empty
+    /// unless the runtime was spawned with event recording enabled
+    /// ([`NodeEnv::with_telemetry`]).
+    pub fn drain_trace(&self) -> Vec<Event> {
+        self.telemetry.lock().drain_events() // lint-allow(observer-effect): post-hoc export accessor for observers, not protocol logic
+    }
+
+    /// Renders the node's telemetry counters (post-hoc readout).
+    pub fn telemetry_metrics(&self) -> String {
+        self.telemetry.lock().metrics().render() // lint-allow(observer-effect): post-hoc metrics accessor for observers, not protocol logic
+    }
 }
 
 /// The injected environment one runtime thread lives in: transport, clock,
@@ -179,6 +226,10 @@ pub struct NodeEnv<T: Transport> {
     /// Cluster-shared stream for crash/corruption victim selection; identical
     /// on every node of a cluster (see [`FAULT_SCHEDULE_STREAM`]).
     fault_schedule: StdRng,
+    /// Per-node observability configuration; disabled by default. The
+    /// spawned runtime owns a private [`TelemetrySink`] built from this,
+    /// timestamped via the injected clock.
+    telemetry: TelemetryConfig,
 }
 
 impl<T: Transport> NodeEnv<T> {
@@ -194,7 +245,20 @@ impl<T: Transport> NodeEnv<T> {
             injector: Box::new(PlanInjector::new(FaultPlan::none(), 0)),
             adversary: Adversary::none(),
             fault_schedule: StdRng::seed_from_u64(0),
+            telemetry: TelemetryConfig::disabled(),
         }
+    }
+
+    /// Enables per-node telemetry: the runtime thread records protocol
+    /// events (begun / completed / vetoed / rejected / lost, churn,
+    /// corruption) into a private flight recorder, drained through
+    /// [`NodeHandle::drain_trace`]. Event sequence numbers are per-node
+    /// ordinals — the initiator band counts this node's initiated
+    /// exchanges, served pushes count separately — faithful to what one
+    /// node can observe of an asynchronous cluster.
+    pub fn with_telemetry(mut self, config: TelemetryConfig) -> Self {
+        self.telemetry = config;
+        self
     }
 
     /// Replaces the clock (e.g. a [`aggregate_core::effects::VirtualClock`]
@@ -318,15 +382,17 @@ impl GossipRuntime {
             local_value,
         ))));
         let stats = Arc::new(StatsCell::default());
+        let telemetry = Arc::new(Mutex::new(TelemetrySink::new(env.telemetry)));
         let stop = Arc::new(AtomicBool::new(false));
         let handle = NodeHandle {
             id,
             node: Arc::clone(&node),
             stats: Arc::clone(&stats),
+            telemetry: Arc::clone(&telemetry),
         };
         let stop_flag = Arc::clone(&stop);
         let thread = std::thread::spawn(move || {
-            run_node_loop(env, node, config, stats, &stop_flag);
+            run_node_loop(env, node, config, stats, telemetry, &stop_flag);
         });
         GossipRuntime {
             handle,
@@ -374,8 +440,15 @@ fn run_node_loop<T: Transport>(
     node: Arc<Mutex<NodeCore>>,
     config: ProtocolConfig,
     stats: Arc<StatsCell>,
+    telemetry: Arc<Mutex<TelemetrySink>>,
     stop: &AtomicBool,
 ) {
+    // Cached once: with telemetry disabled every hook below is one branch.
+    let events = telemetry.lock().events_enabled();
+    // Per-node event ordinals: initiated exchanges and served pushes count
+    // separately (an asynchronous node cannot know its peers' numbering).
+    let mut init_seq: u64 = 0;
+    let mut serve_seq: u64 = 0;
     let local = env.transport.local_node();
     let cycle_length = config.cycle_length_ms().max(1);
     let mut members = env.transport.peers();
@@ -400,7 +473,12 @@ fn run_node_loop<T: Transport>(
     // Enter cycle 0 (fault + overlay bookkeeping) without initiating yet:
     // the random initial phase staggers the first active exchanges so nodes
     // do not fire in lock-step.
-    enter_cycle(&mut env, cycle, &mut state, &node, local);
+    if events {
+        telemetry.lock().begin_cycle(0, env.clock.now_ms());
+    }
+    enter_cycle(
+        &mut env, cycle, &mut state, &node, local, &telemetry, events,
+    );
     let mut next_cycle =
         env.clock.now_ms() + (cycle_length as f64 * env.rng.gen_range(0.0..1.0)) as u64;
 
@@ -410,7 +488,14 @@ fn run_node_loop<T: Transport>(
         if now < next_cycle {
             if now >= reply_deadline {
                 match node.lock().close_pending() {
-                    Some(true) => StatsCell::bump(&stats.exchanges_completed),
+                    Some(true) => {
+                        StatsCell::bump(&stats.exchanges_completed);
+                        if events {
+                            telemetry
+                                .lock()
+                                .exchange_completed(init_seq.wrapping_sub(1));
+                        }
+                    }
                     Some(false) => StatsCell::bump(&stats.exchanges_timed_out),
                     None => {}
                 }
@@ -420,7 +505,20 @@ fn run_node_loop<T: Transport>(
             match env.transport.recv_timeout(wait) {
                 Ok(Some(message)) => {
                     if !state.crashed {
-                        serve(&mut env, &node, &state, message, &stats);
+                        serve(
+                            &mut env,
+                            &node,
+                            &state,
+                            message,
+                            &stats,
+                            ServeTelemetry {
+                                sink: &telemetry,
+                                events,
+                                serve_seq: &mut serve_seq,
+                                init_seq,
+                                local,
+                            },
+                        );
                     }
                 }
                 Ok(None) => {}
@@ -437,22 +535,53 @@ fn run_node_loop<T: Transport>(
 
         // Cycle boundary: settle the in-flight exchange, advance the epoch
         // machinery, enter the next cycle and run the active half.
-        {
+        let epoch_restart = {
             let mut core = node.lock();
             match core.close_pending() {
-                Some(true) => StatsCell::bump(&stats.exchanges_completed),
+                Some(true) => {
+                    StatsCell::bump(&stats.exchanges_completed);
+                    if events {
+                        telemetry
+                            .lock()
+                            .exchange_completed(init_seq.wrapping_sub(1));
+                    }
+                }
                 Some(false) => StatsCell::bump(&stats.exchanges_timed_out),
                 None => {}
             }
             if !state.crashed {
-                core.end_cycle();
+                core.end_cycle().map(|result| result.epoch)
+            } else {
+                None
+            }
+        };
+        if events {
+            if let Some(epoch) = epoch_restart {
+                telemetry.lock().epoch_restarted(epoch);
             }
         }
         cycle += 1;
         StatsCell::bump(&stats.cycles_run);
-        enter_cycle(&mut env, cycle, &mut state, &node, local);
+        if events {
+            telemetry
+                .lock()
+                .begin_cycle(cycle as u64, env.clock.now_ms());
+        }
+        enter_cycle(
+            &mut env, cycle, &mut state, &node, local, &telemetry, events,
+        );
         if !state.crashed {
-            initiate(&mut env, &node, &state, &mut pushes, local, &stats);
+            initiate(
+                &mut env,
+                &node,
+                &state,
+                &mut pushes,
+                local,
+                &stats,
+                &telemetry,
+                events,
+                &mut init_seq,
+            );
         }
         reply_deadline = if node.lock().is_pending() {
             env.clock.now_ms().saturating_add(reply_timeout)
@@ -466,12 +595,15 @@ fn run_node_loop<T: Transport>(
 /// Per-cycle fault-lab and overlay bookkeeping, identical on every node:
 /// crash bursts and value corruptions are drawn from streams every node
 /// shares, so the cluster agrees on victims without coordination.
+#[allow(clippy::too_many_arguments)]
 fn enter_cycle<T: Transport>(
     env: &mut NodeEnv<T>,
     cycle: usize,
     state: &mut CycleState,
     node: &Mutex<NodeCore>,
     local: NodeId,
+    telemetry: &Mutex<TelemetrySink>,
+    events: bool,
 ) {
     env.injector.begin_cycle(cycle);
     let victims = env.injector.crash_count(state.live_ids.len());
@@ -484,6 +616,11 @@ fn enter_cycle<T: Transport>(
         env.sampler.on_depart(victim);
         if victim == local {
             state.crashed = true;
+            // Each node's trace records only its own crash; merging per-node
+            // traces therefore yields one departure event per victim.
+            if events {
+                telemetry.lock().node_departed(u64::from(local.as_u32()));
+            }
         }
     }
     // The stateful adversary next, in the simulators' order: a colluding
@@ -492,6 +629,9 @@ fn enter_cycle<T: Transport>(
     if env.adversary.is_colluder(local) {
         if let Some(value) = env.adversary.lie_at(cycle) {
             node.lock().corrupt_estimate(value);
+            if events {
+                telemetry.lock().value_corrupted(u64::from(local.as_u32()));
+            }
         }
     }
     for (pos, value) in env.injector.corruptions(state.live_ids.len()) {
@@ -499,6 +639,9 @@ fn enter_cycle<T: Transport>(
             && !env.adversary.overrides_injection(cycle, local)
         {
             node.lock().corrupt_estimate(value);
+            if events {
+                telemetry.lock().value_corrupted(u64::from(local.as_u32()));
+            }
         }
     }
     state.loss = env.injector.loss_probability();
@@ -509,6 +652,7 @@ fn enter_cycle<T: Transport>(
 /// The active half of Figure 1: sample a peer, let the fault lab veto the
 /// contact, otherwise begin the exchange through the core and ship the
 /// pushes (each through the loss gate).
+#[allow(clippy::too_many_arguments)]
 fn initiate<T: Transport>(
     env: &mut NodeEnv<T>,
     node: &Mutex<NodeCore>,
@@ -516,6 +660,9 @@ fn initiate<T: Transport>(
     pushes: &mut Vec<GossipMessage>,
     local: NodeId,
     stats: &StatsCell,
+    telemetry: &Mutex<TelemetrySink>,
+    events: bool,
+    init_seq: &mut u64,
 ) {
     let Some(self_pos) = state.live_ids.iter().position(|&id| id == local) else {
         return;
@@ -528,15 +675,30 @@ fn initiate<T: Transport>(
     if env.injector.link_blocked(local, peer) {
         env.sampler.peer_failed(local, peer);
         StatsCell::bump(&stats.exchanges_vetoed);
+        if events {
+            telemetry
+                .lock()
+                .exchange_vetoed(u64::from(local.as_u32()), u64::from(peer.as_u32()));
+        }
         return;
     }
     if !node.lock().begin(peer, pushes) {
         return;
     }
     StatsCell::bump(&stats.exchanges_started);
+    let seq = *init_seq;
+    *init_seq += 1;
+    if events {
+        telemetry
+            .lock()
+            .exchange_begun(seq, u64::from(local.as_u32()), u64::from(peer.as_u32()));
+    }
     for push in pushes.iter() {
         if state.loss > 0.0 && env.rng.gen_bool(state.loss) {
             StatsCell::bump(&stats.messages_lost);
+            if events {
+                telemetry.lock().message_lost(seq);
+            }
             continue;
         }
         if env.transport.send(push).is_err() {
@@ -547,23 +709,58 @@ fn initiate<T: Transport>(
 
 /// The passive half: deliver one received message through the core and send
 /// back the reply it owes, if any (through the loss gate).
+/// Telemetry context for [`serve`]: the shared sink plus the two per-node
+/// ordinal streams (served pushes get fresh ordinals; a completing reply is
+/// attributed to the most recent initiated exchange).
+struct ServeTelemetry<'a> {
+    sink: &'a Mutex<TelemetrySink>,
+    events: bool,
+    serve_seq: &'a mut u64,
+    init_seq: u64,
+    local: NodeId,
+}
+
 fn serve<T: Transport>(
     env: &mut NodeEnv<T>,
     node: &Mutex<NodeCore>,
     state: &CycleState,
     message: GossipMessage,
     stats: &StatsCell,
+    telemetry: ServeTelemetry<'_>,
 ) {
     match node.lock().deliver(message) {
         Delivery::Reply(reply) => {
+            let seq = *telemetry.serve_seq;
+            *telemetry.serve_seq += 1;
             if state.loss > 0.0 && env.rng.gen_bool(state.loss) {
                 StatsCell::bump(&stats.messages_lost);
+                if telemetry.events {
+                    telemetry.sink.lock().message_lost(seq);
+                }
             } else if env.transport.send(&reply).is_err() {
                 StatsCell::bump(&stats.send_errors);
             }
         }
-        Delivery::ExchangeComplete => StatsCell::bump(&stats.exchanges_completed),
-        Delivery::RejectedOverlap => StatsCell::bump(&stats.pushes_rejected),
+        Delivery::ExchangeComplete => {
+            StatsCell::bump(&stats.exchanges_completed);
+            if telemetry.events {
+                telemetry
+                    .sink
+                    .lock()
+                    .exchange_completed(telemetry.init_seq.wrapping_sub(1));
+            }
+        }
+        Delivery::RejectedOverlap => {
+            StatsCell::bump(&stats.pushes_rejected);
+            if telemetry.events {
+                let seq = *telemetry.serve_seq;
+                *telemetry.serve_seq += 1;
+                telemetry
+                    .sink
+                    .lock()
+                    .exchange_rejected(seq, u64::from(telemetry.local.as_u32()));
+            }
+        }
         Delivery::Absorbed | Delivery::ReplyAbsorbed | Delivery::UnmatchedReply => {}
     }
 }

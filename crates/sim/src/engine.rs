@@ -31,6 +31,7 @@ use crate::arena::NodeArena;
 use crate::sampling::{instantiate_sampler, ArenaDirectory};
 use crate::{NetworkConditions, SeedSequence, SimConfigError};
 use aggregate_core::aggregate::CountInit;
+use aggregate_core::effects::{Clock, VirtualClock};
 use aggregate_core::node::ProtocolNode;
 use aggregate_core::redundancy::{redundant_size_estimate_from_epoch, RedundancyConfig};
 use aggregate_core::sampler::{sample_live_peer, PeerSampler, SamplerConfig};
@@ -38,11 +39,17 @@ use aggregate_core::size_estimation::{self, LeaderPolicy};
 use aggregate_core::{ExchangeCore, ExchangeTally, GossipMessage, InstanceTag, ProtocolConfig};
 use gossip_analysis::OnlineStats;
 use gossip_faults::{Adversary, AdversaryPlan, FaultInjector, FaultPlan, PlanInjector};
+use gossip_telemetry::{Event, TelemetryConfig, TelemetrySink, WatchdogVerdict};
 use overlay_topology::NodeId;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+
+/// Logical duration of one protocol cycle on the engines' virtual clocks.
+/// Flight-recorder timestamps advance by this per cycle — virtual time, so
+/// traces are deterministic and no protocol crate ever reads a wall clock.
+pub(crate) const VIRTUAL_CYCLE_MS: u64 = 1_000;
 
 /// Configuration of a [`GossipSimulation`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -175,6 +182,13 @@ pub struct GossipSimulation {
     last_size_estimate: Option<f64>,
     scratch_pushes: Vec<GossipMessage>,
     scratch_replies: Vec<GossipMessage>,
+    /// The observability layer: flight recorder, metrics and watchdog.
+    /// Disabled by default — the disabled path records nothing, consumes no
+    /// randomness and is pinned bit-identical to the pre-telemetry goldens.
+    telemetry: TelemetrySink,
+    /// Virtual time driving the flight-recorder timestamps; advances by
+    /// [`VIRTUAL_CYCLE_MS`] per cycle, never reads the wall clock.
+    clock: VirtualClock,
 }
 
 impl GossipSimulation {
@@ -317,6 +331,8 @@ impl GossipSimulation {
             last_size_estimate: None,
             scratch_pushes: Vec::new(),
             scratch_replies: Vec::new(),
+            telemetry: TelemetrySink::new(TelemetryConfig::disabled()),
+            clock: VirtualClock::new(),
         };
         sim.elect_leaders();
         Ok(sim)
@@ -326,6 +342,44 @@ impl GossipSimulation {
     /// test suites inspect it to cross-check which nodes are lying.
     pub fn adversary(&self) -> &Adversary {
         &self.adversary
+    }
+
+    /// Installs an observability configuration (flight recorder, metrics,
+    /// convergence watchdog). Call before running; the default is
+    /// [`TelemetryConfig::disabled`], whose trajectory is pinned
+    /// bit-identical to the pre-telemetry engine. Recording consumes no
+    /// randomness, so enabling it never changes node estimates either.
+    pub fn set_telemetry(&mut self, config: TelemetryConfig) {
+        self.telemetry = TelemetrySink::new(config);
+        self.telemetry
+            .begin_cycle(self.cycle as u64, self.clock.now_ms());
+    }
+
+    /// Drains the flight recorder into canonical trace order (post-hoc
+    /// export path — runners and tests only, never protocol code).
+    pub fn drain_trace(&mut self) -> Vec<Event> {
+        self.telemetry.drain_events() // lint-allow(observer-effect): post-hoc export accessor for runners/tests, not protocol logic
+    }
+
+    /// Events discarded because the flight-recorder ring was full; drain
+    /// per cycle (or raise the capacity) to keep this at zero.
+    pub fn dropped_trace_events(&self) -> u64 {
+        self.telemetry.dropped_events() // lint-allow(observer-effect): post-hoc export accessor for runners/tests, not protocol logic
+    }
+
+    /// The convergence watchdog's current verdict, if one is configured.
+    pub fn watchdog_verdict(&self) -> Option<WatchdogVerdict> {
+        self.telemetry.watchdog_verdict() // lint-allow(observer-effect): post-hoc diagnosis accessor for runners/tests, not protocol logic
+    }
+
+    /// Verdict transitions logged by the convergence watchdog.
+    pub fn watchdog_diagnoses(&self) -> &[gossip_telemetry::Diagnosis] {
+        self.telemetry.diagnoses() // lint-allow(observer-effect): post-hoc diagnosis accessor for runners/tests, not protocol logic
+    }
+
+    /// The accumulated telemetry counters (post-hoc readout).
+    pub fn telemetry_metrics(&self) -> &gossip_telemetry::MetricsRegistry {
+        self.telemetry.metrics() // lint-allow(observer-effect): post-hoc metrics accessor for runners/tests, not protocol logic
     }
 
     /// The peer-sampling configuration this simulation draws partners from
@@ -410,6 +464,9 @@ impl GossipSimulation {
         let id = self.arena.insert(|id| {
             ProtocolNode::joining(id, protocol, local_value, next_epoch, cycles_until_start)
         });
+        if self.telemetry.events_enabled() {
+            self.telemetry.node_joined(u64::from(id.as_u32()));
+        }
         let GossipSimulation { sampler, arena, .. } = self;
         sampler.on_join(id, &ArenaDirectory { arena });
         id
@@ -421,6 +478,9 @@ impl GossipSimulation {
     pub fn remove_node(&mut self, id: NodeId) -> bool {
         if self.arena.remove(id) {
             self.sampler.on_depart(id);
+            if self.telemetry.events_enabled() {
+                self.telemetry.node_departed(u64::from(id.as_u32()));
+            }
             true
         } else {
             false
@@ -440,6 +500,9 @@ impl GossipSimulation {
             let id = self.arena.id_at_slot(slot);
             self.arena.remove_live_at(position);
             self.sampler.on_depart(id);
+            if self.telemetry.events_enabled() {
+                self.telemetry.node_departed(u64::from(id.as_u32()));
+            }
             removed += 1;
         }
         removed
@@ -480,12 +543,17 @@ impl GossipSimulation {
                 adversary,
                 arena,
                 cycle,
+                telemetry,
                 ..
             } = self;
+            let record = telemetry.events_enabled();
             if let Some(value) = adversary.lie_at(*cycle) {
                 for &id in adversary.colluders() {
                     if let Some(node) = arena.get_mut(id) {
                         node.corrupt_estimate(value);
+                        if record {
+                            telemetry.value_corrupted(u64::from(id.as_u32()));
+                        }
                     }
                 }
             }
@@ -510,6 +578,9 @@ impl GossipSimulation {
             }
             if let Some(node) = self.arena.node_at_slot_mut(slot) {
                 node.corrupt_estimate(value);
+                if self.telemetry.events_enabled() {
+                    self.telemetry.value_corrupted(u64::from(id.as_u32()));
+                }
             }
         }
         let loss = self.injector.loss_probability();
@@ -563,6 +634,12 @@ impl GossipSimulation {
             if self.injector.link_blocked(initiator_id, peer_id) {
                 self.sampler.peer_failed(initiator_id, peer_id);
                 exchanges_blocked += 1;
+                if self.telemetry.events_enabled() {
+                    self.telemetry.exchange_vetoed(
+                        u64::from(initiator_id.as_u32()),
+                        u64::from(peer_id.as_u32()),
+                    );
+                }
                 continue;
             }
             let peer_slot = self.arena.slot_of(peer_id).expect("sampled peer is live"); // lint-allow(unwrap): sampler returned it from the live directory this cycle
@@ -576,12 +653,21 @@ impl GossipSimulation {
                 continue;
             }
             tally.exchanges += 1;
+            let seq = (tally.exchanges - 1) as u64;
+            if self.telemetry.events_enabled() {
+                self.telemetry.exchange_begun(
+                    seq,
+                    u64::from(initiator_id.as_u32()),
+                    u64::from(peer_id.as_u32()),
+                );
+            }
             self.scratch_replies.clear();
             let mut lost = || loss > 0.0 && rng.gen_bool(loss);
             let peer = arena
                 .node_at_slot_mut(peer_slot)
                 // lint-allow(unwrap): peer_slot resolved from a live id above; no churn mid-cycle
                 .expect("live within cycle");
+            let lost_before = tally.messages_lost;
             ExchangeCore::respond(
                 peer,
                 &self.scratch_pushes,
@@ -594,6 +680,15 @@ impl GossipSimulation {
                 // lint-allow(unwrap): initiator slot comes from this cycle's live snapshot
                 .expect("checked above");
             ExchangeCore::complete(initiator, &self.scratch_replies);
+            if self.telemetry.events_enabled() {
+                let lost_now = tally.messages_lost - lost_before;
+                for _ in 0..lost_now {
+                    self.telemetry.message_lost(seq);
+                }
+                if lost_now == 0 {
+                    self.telemetry.exchange_completed(seq);
+                }
+            }
         }
         let ExchangeTally {
             exchanges,
@@ -638,7 +733,10 @@ impl GossipSimulation {
 
         // A completed epoch means the next cycle starts a new epoch: re-run
         // the leader election for the counting instances.
-        if completed_epoch.is_some() {
+        if let Some(epoch) = completed_epoch {
+            if self.telemetry.events_enabled() {
+                self.telemetry.epoch_restarted(epoch);
+            }
             self.elect_leaders();
         }
 
@@ -668,7 +766,15 @@ impl GossipSimulation {
             epoch_estimates,
             epoch_size_estimates,
         };
+        self.telemetry
+            .observe_variance(self.cycle as u64, summary.estimate_variance);
         self.cycle += 1;
+        // Advance virtual time and open the next cycle's recording context,
+        // so churn applied between run_cycle calls lands in the cycle-start
+        // band of the cycle it affects.
+        self.clock.advance(VIRTUAL_CYCLE_MS);
+        self.telemetry
+            .begin_cycle(self.cycle as u64, self.clock.now_ms());
         summary
     }
 
@@ -697,6 +803,9 @@ impl GossipSimulation {
                 if size_estimation::elect_leader(node, policy, previous, &mut self.rng) {
                     any_leader = true;
                     self.adversary.observe_leader(id);
+                    if self.telemetry.events_enabled() {
+                        self.telemetry.leader_elected(u64::from(id.as_u32()));
+                    }
                 }
             }
         }
@@ -712,6 +821,9 @@ impl GossipSimulation {
                         1.0,
                     );
                     self.adversary.observe_leader(id);
+                    if self.telemetry.events_enabled() {
+                        self.telemetry.leader_elected(u64::from(id.as_u32()));
+                    }
                 }
             }
         }
@@ -746,6 +858,9 @@ impl GossipSimulation {
                     CountInit::initial_value(true),
                 );
                 self.adversary.observe_leader(id);
+                if self.telemetry.events_enabled() {
+                    self.telemetry.leader_elected(u64::from(id.as_u32()));
+                }
             }
         }
     }

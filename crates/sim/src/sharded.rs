@@ -56,6 +56,7 @@ use crate::sampling::instantiate_sampler;
 use crate::soa::{self, HotStore, WordBuffer};
 use crate::{SeedSequence, SimConfigError, SimulationConfig};
 use aggregate_core::aggregate::CountInit;
+use aggregate_core::effects::{Clock, VirtualClock};
 use aggregate_core::node::{HotView, ProtocolNode};
 use aggregate_core::redundancy::{redundant_size_estimate_from_epoch, MergePolicy};
 use aggregate_core::sampler::{sample_live_peer, PeerSampler, SamplerConfig, SamplerDirectory};
@@ -65,6 +66,7 @@ use aggregate_core::{
 };
 use gossip_analysis::OnlineStats;
 use gossip_faults::{Adversary, AdversaryPlan, FaultInjector, FaultPlan, PlanInjector};
+use gossip_telemetry::{Event, EventKind, FlightRecorder, TelemetryConfig, TelemetrySink};
 use overlay_topology::NodeId;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -245,6 +247,12 @@ struct Shard {
     /// hot records are authoritative and the matching `ProtocolNode`s are
     /// stale until synced back at a flush point.
     hot: HotStore,
+    /// This shard's slice of the flight recorder: worker-side exchange
+    /// outcomes (`MessageLost` / `ExchangeCompleted`), keyed by global
+    /// sequence number only — no node identity — so the seq-sorted merge
+    /// of all rings is invariant across shard and worker counts. Capacity
+    /// 0 (the default) disables recording entirely.
+    recorder: FlightRecorder,
 }
 
 /// The sharded engine's [`SamplerDirectory`]: positions are the global live
@@ -388,6 +396,16 @@ pub struct ShardedSimulation {
     /// not node identifiers, which embed the shard layout — so the
     /// colluding set is bit-identical across shard and worker counts.
     adversary: Adversary,
+    /// The coordinator-side observability sink: schedule-time events
+    /// (churn, corruption, vetoes, exchange starts — all keyed by global
+    /// directory positions, which are shard-count invariant), the metrics
+    /// registry and the convergence watchdog. Disabled by default;
+    /// recording consumes no randomness, so enabling it never perturbs the
+    /// trajectory.
+    telemetry: TelemetrySink,
+    /// Virtual time for flight-recorder timestamps; advances one logical
+    /// Δt per cycle, never reads a wall clock.
+    clock: VirtualClock,
 }
 
 /// Lazily seeded per-exchange loss model: free when the loss probability is
@@ -471,6 +489,7 @@ impl ShardedSimulation {
                 arena: NodeArena::with_layout(IdLayout::sharded(s as u32)),
                 global_pos: Vec::new(),
                 hot: HotStore::default(),
+                recorder: FlightRecorder::new(0),
             })
             .collect();
         let mut global_live = Vec::with_capacity(initial_values.len());
@@ -512,9 +531,68 @@ impl ShardedSimulation {
             sampler,
             injector,
             adversary,
+            telemetry: TelemetrySink::new(TelemetryConfig::disabled()),
+            clock: VirtualClock::new(),
         };
         sim.elect_leaders();
         Ok(sim)
+    }
+
+    /// Installs (or replaces) the telemetry sink and re-arms the per-shard
+    /// flight-recorder rings. With [`TelemetryConfig::disabled`] — the
+    /// construction default — every hook is a single branch and the run is
+    /// bit-identical to the pre-telemetry engine. Recording consumes no
+    /// randomness, and events are keyed by global directory positions plus
+    /// executor-agnostic sequence numbers, so the merged trace is invariant
+    /// across shard *and* worker counts.
+    pub fn set_telemetry(&mut self, config: TelemetryConfig) {
+        self.telemetry = TelemetrySink::new(config);
+        self.telemetry
+            .begin_cycle(self.cycle as u64, self.clock.now_ms());
+        let now = self.clock.now_ms();
+        let cycle = self.cycle as u64;
+        for shard in &mut self.shards {
+            shard.recorder = self.telemetry.shard_recorder();
+            shard.recorder.set_context(cycle, now);
+        }
+    }
+
+    /// Drains the coordinator's ring and every shard's ring into one
+    /// canonically ordered trace (see [`gossip_telemetry::merge_events`]).
+    pub fn drain_trace(&mut self) -> Vec<Event> {
+        let batches: Vec<Vec<Event>> = self
+            .shards
+            .iter_mut()
+            .map(|shard| shard.recorder.drain())
+            .collect();
+        self.telemetry.drain_events_with(batches) // lint-allow(observer-effect): post-hoc export accessor for runners/tests, not protocol logic
+    }
+
+    /// Events evicted from any ring since the sink was installed — a
+    /// nonzero value means the trace has holes and the ring capacity should
+    /// be raised (or the trace drained more often).
+    pub fn dropped_trace_events(&self) -> u64 {
+        self.telemetry.dropped_events() // lint-allow(observer-effect): post-hoc export accessor for runners/tests, not protocol logic
+            + self
+                .shards
+                .iter()
+                .map(|shard| shard.recorder.dropped())
+                .sum::<u64>()
+    }
+
+    /// The convergence watchdog's current verdict, if one is configured.
+    pub fn watchdog_verdict(&self) -> Option<gossip_telemetry::WatchdogVerdict> {
+        self.telemetry.watchdog_verdict() // lint-allow(observer-effect): post-hoc diagnosis accessor for runners/tests, not protocol logic
+    }
+
+    /// Every verdict transition the watchdog has diagnosed so far.
+    pub fn watchdog_diagnoses(&self) -> &[gossip_telemetry::Diagnosis] {
+        self.telemetry.diagnoses() // lint-allow(observer-effect): post-hoc diagnosis accessor for runners/tests, not protocol logic
+    }
+
+    /// The accumulated telemetry counters (post-hoc readout).
+    pub fn telemetry_metrics(&self) -> &gossip_telemetry::MetricsRegistry {
+        self.telemetry.metrics() // lint-allow(observer-effect): post-hoc metrics accessor for runners/tests, not protocol logic
     }
 
     /// The peer-sampling configuration exchange partners are drawn from.
@@ -639,6 +717,12 @@ impl ShardedSimulation {
         shard.hot.mark_cold(slot);
         shard.set_global_pos(slot, self.global_live.len() as u32);
         self.global_live.push(id);
+        if self.telemetry.events_enabled() {
+            // Positions — not identifiers, which embed the shard layout —
+            // keep the trace invariant across shard counts.
+            self.telemetry
+                .node_joined(self.global_live.len() as u64 - 1);
+        }
         let ShardedSimulation {
             sampler,
             global_live,
@@ -669,6 +753,9 @@ impl ShardedSimulation {
         // The departed node's state vanishes with it: no flush, just hygiene.
         self.shards[shard].hot.mark_cold(slot);
         let pos = self.shards[shard].global_pos[slot as usize];
+        if self.telemetry.events_enabled() {
+            self.telemetry.node_departed(u64::from(pos));
+        }
         self.remove_global_at(pos as usize);
         self.sampler.on_depart(id);
         true
@@ -689,6 +776,9 @@ impl ShardedSimulation {
             let slot = IdLayout::sharded_slot_of(id);
             self.shards[shard].arena.remove_slot_checked(slot);
             self.shards[shard].hot.mark_cold(slot);
+            if self.telemetry.events_enabled() {
+                self.telemetry.node_departed(pos as u64);
+            }
             self.remove_global_at(pos);
             self.sampler.on_depart(id);
             removed += 1;
@@ -745,8 +835,10 @@ impl ShardedSimulation {
                 adversary,
                 shards,
                 cycle,
+                telemetry,
                 ..
             } = self;
+            let record = telemetry.events_enabled();
             if let Some(value) = adversary.lie_at(*cycle) {
                 for &id in adversary.colluders() {
                     let shard = &mut shards[IdLayout::shard_of(id) as usize];
@@ -754,6 +846,9 @@ impl ShardedSimulation {
                         continue; // colluder crashed or departed
                     }
                     let slot = IdLayout::sharded_slot_of(id) as usize;
+                    if record {
+                        telemetry.value_corrupted(u64::from(shard.global_pos[slot]));
+                    }
                     match shard.hot.slots.get_mut(slot).filter(|r| r.is_hot()) {
                         Some(record) => record.state = value,
                         None => {
@@ -782,6 +877,9 @@ impl ShardedSimulation {
             // overwrite the injection next cycle anyway).
             if self.adversary.overrides_injection(self.cycle, id) {
                 continue;
+            }
+            if self.telemetry.events_enabled() {
+                self.telemetry.value_corrupted(pos as u64);
             }
             let shard = &mut self.shards[IdLayout::shard_of(id) as usize];
             let slot = IdLayout::sharded_slot_of(id) as usize;
@@ -850,10 +948,17 @@ impl ShardedSimulation {
             };
         }
 
+        if self.telemetry.events_enabled() {
+            self.telemetry
+                .add_message_losses(tally.messages_lost as u64);
+        }
         if size_stats.count() > 0 {
             self.last_size_estimate = Some(size_stats.mean());
         }
-        if completed_epoch.is_some() {
+        if let Some(epoch) = completed_epoch {
+            if self.telemetry.events_enabled() {
+                self.telemetry.epoch_restarted(epoch);
+            }
             self.elect_leaders();
         }
 
@@ -870,7 +975,22 @@ impl ShardedSimulation {
             epoch_size_estimates: size_stats,
             shard_exchanges,
         };
+        self.telemetry
+            .observe_variance(self.cycle as u64, summary.estimate_variance);
         self.cycle += 1;
+        self.clock.advance(crate::engine::VIRTUAL_CYCLE_MS);
+        // Open the next cycle's recording context — inter-cycle churn and
+        // fault-lab actions land in *that* cycle's start band, mirroring the
+        // reference engine.
+        self.telemetry
+            .begin_cycle(self.cycle as u64, self.clock.now_ms());
+        if self.telemetry.events_enabled() {
+            let now = self.clock.now_ms();
+            let cycle = self.cycle as u64;
+            for shard in &mut self.shards {
+                shard.recorder.set_context(cycle, now);
+            }
+        }
         summary
     }
 
@@ -904,6 +1024,8 @@ impl ShardedSimulation {
         let global_live = &self.global_live;
         let sampler = &mut self.sampler;
         let injector = &self.injector;
+        let telemetry = &mut self.telemetry;
+        let record = telemetry.events_enabled();
         // Exchanges are executed in blocks: peers for the whole block are
         // drawn first (the same draw sequence as one-at-a-time), then every
         // endpoint node is *touched* with plain reads, then the block runs.
@@ -942,6 +1064,12 @@ impl ShardedSimulation {
                     if injector.link_blocked(initiator_id, peer_id) {
                         sampler.peer_failed(initiator_id, peer_id);
                         exchanges_blocked += 1;
+                        if record {
+                            telemetry.exchange_vetoed(
+                                u64::from(ipos),
+                                u64::from(global_pos_of(shards, peer_id)),
+                            );
+                        }
                         continue;
                     }
                     block.push((initiator_id, peer_id));
@@ -965,6 +1093,16 @@ impl ShardedSimulation {
                 for &(initiator_id, peer_id) in block.iter() {
                     let seq = next_seq;
                     next_seq += 1;
+                    if record {
+                        // Same placement as `build_schedule`: a begun event
+                        // for every surviving pick, keyed by directory
+                        // positions and the executor-agnostic seq.
+                        telemetry.exchange_begun(
+                            seq as u64,
+                            u64::from(global_pos_of(shards, initiator_id)),
+                            u64::from(global_pos_of(shards, peer_id)),
+                        );
+                    }
                     let initiator_shard = IdLayout::shard_of(initiator_id) as usize;
                     let peer_shard = IdLayout::shard_of(peer_id) as usize;
                     let initiator_slot = IdLayout::sharded_slot_of(initiator_id);
@@ -989,6 +1127,8 @@ impl ShardedSimulation {
                         0
                     };
                     let mut lost = exchange_loss(loss, seed);
+                    let exch_before = tallies[initiator_shard].exchanges;
+                    let lost_before = tallies[initiator_shard].messages_lost;
                     ExchangeCore::exchange(
                         initiator,
                         peer,
@@ -996,6 +1136,14 @@ impl ShardedSimulation {
                         &mut lost,
                         &mut tallies[initiator_shard],
                     );
+                    if record {
+                        record_exchange_outcome(
+                            &mut shards[initiator_shard].recorder,
+                            seq as u64,
+                            tallies[initiator_shard].exchanges > exch_before,
+                            tallies[initiator_shard].messages_lost - lost_before,
+                        );
+                    }
                 }
                 start = end;
             }
@@ -1109,6 +1257,8 @@ impl ShardedSimulation {
         let global_live = &self.global_live;
         let sampler = &mut self.sampler;
         let injector = &self.injector;
+        let telemetry = &mut self.telemetry;
+        let record = telemetry.events_enabled();
 
         // One fused pipeline per block of initiators: draw the block's peer
         // picks and touch the candidate directory lines; resolve the pairs
@@ -1185,8 +1335,23 @@ impl ShardedSimulation {
                     if injector.link_blocked(initiator_id, peer_id) {
                         sampler.peer_failed(initiator_id, peer_id);
                         exchanges_blocked += 1;
+                        if record {
+                            telemetry.exchange_vetoed(entry >> 32, u64::from(cand[k]));
+                        }
                         continue;
                     }
+                }
+                if record {
+                    // Identical to the reference pick loop: a begun event per
+                    // surviving pick, numbered densely in pick order. (The
+                    // recording interleave differs — vetoes and beguns share
+                    // this stage here — but the events' sort keys restore the
+                    // same total order after the merge.)
+                    telemetry.exchange_begun(
+                        (next_seq + survivors) as u64,
+                        entry >> 32,
+                        u64::from(cand[k]),
+                    );
                 }
                 block_pairs[survivors] = (initiator, peer);
                 survivors += 1;
@@ -1245,6 +1410,7 @@ impl ShardedSimulation {
                             c2
                         }
                     };
+                    let lost_before = tallies[shard_a].messages_lost;
                     ExchangeCore::exchange_fused_raw(
                         kind,
                         &mut initiator.state,
@@ -1254,6 +1420,16 @@ impl ShardedSimulation {
                         &mut lost,
                         &mut tallies[shard_a],
                     );
+                    if record {
+                        // The fused path always begins (both endpoints hot ⇒
+                        // active in the same epoch).
+                        record_exchange_outcome(
+                            &mut shards[shard_a].recorder,
+                            seq as u64,
+                            true,
+                            tallies[shard_a].messages_lost - lost_before,
+                        );
+                    }
                 } else {
                     // Cold or cross-epoch endpoint: sync the nodes, run the
                     // ordinary node-path exchange (which takes its own fused
@@ -1279,6 +1455,8 @@ impl ShardedSimulation {
                         0
                     };
                     let mut lost = exchange_loss(loss, seed);
+                    let exch_before = tallies[shard_a].exchanges;
+                    let lost_before = tallies[shard_a].messages_lost;
                     ExchangeCore::exchange(
                         initiator,
                         peer,
@@ -1286,6 +1464,14 @@ impl ShardedSimulation {
                         &mut lost,
                         &mut tallies[shard_a],
                     );
+                    if record {
+                        record_exchange_outcome(
+                            &mut shards[shard_a].recorder,
+                            seq as u64,
+                            tallies[shard_a].exchanges > exch_before,
+                            tallies[shard_a].messages_lost - lost_before,
+                        );
+                    }
                     shards[shard_a].resync_slot(slot_a, kind);
                     shards[shard_b].resync_slot(slot_b, kind);
                 }
@@ -1383,8 +1569,10 @@ impl ShardedSimulation {
             global_live,
             shards,
             injector,
+            telemetry,
             ..
         } = self;
+        let record = telemetry.events_enabled();
         let mut rng = seeds.rng_for_labeled(cycle as u64, "cycle-schedule");
 
         sched.order.clear();
@@ -1412,6 +1600,12 @@ impl ShardedSimulation {
                 if injector.link_blocked(global_live[ipos as usize], peer_id) {
                     sampler.peer_failed(global_live[ipos as usize], peer_id);
                     exchanges_blocked += 1;
+                    if record {
+                        telemetry.exchange_vetoed(
+                            u64::from(ipos),
+                            u64::from(global_pos_of(shards, peer_id)),
+                        );
+                    }
                     continue;
                 }
                 let ppos = global_pos_of(shards, peer_id);
@@ -1419,6 +1613,16 @@ impl ShardedSimulation {
                 sched.next_round[ipos as usize] = round + 1;
                 sched.next_round[ppos as usize] = round + 1;
                 rounds = rounds.max(round + 1);
+                if record {
+                    // The schedule index IS the global sequence number the
+                    // workers key their loss draws (and loss/completion
+                    // events) on.
+                    telemetry.exchange_begun(
+                        sched.exchanges.len() as u64,
+                        u64::from(ipos),
+                        u64::from(ppos),
+                    );
+                }
                 sched.exchanges.push(ScheduledExchange {
                     initiator: global_live[ipos as usize],
                     peer: peer_id,
@@ -1483,6 +1687,9 @@ impl ShardedSimulation {
                 if size_estimation::elect_leader(node, policy, previous, &mut rng) {
                     any_leader = true;
                     self.adversary.observe_leader(id);
+                    if self.telemetry.events_enabled() {
+                        self.telemetry.leader_elected(pos as u64);
+                    }
                 }
             }
         }
@@ -1494,6 +1701,9 @@ impl ShardedSimulation {
                 if let Some(node) = self.shards[shard].arena.get_mut(id) {
                     node.start_led_instance(InstanceTag::from_leader(node.id()), 1.0);
                     self.adversary.observe_leader(id);
+                    if self.telemetry.events_enabled() {
+                        self.telemetry.leader_elected(0);
+                    }
                 }
             }
         }
@@ -1529,6 +1739,9 @@ impl ShardedSimulation {
                     CountInit::initial_value(true),
                 );
                 self.adversary.observe_leader(id);
+                if self.telemetry.events_enabled() {
+                    self.telemetry.leader_elected(u64::from(pos));
+                }
             }
         }
     }
@@ -1797,6 +2010,27 @@ struct ShardWorker<'a> {
     reply_txs: Vec<crossbeam::channel::Sender<Vec<CrossReply>>>,
 }
 
+/// Records exchange `seq`'s outcome — per-message loss events, or a single
+/// completion event when every message survived — from the [`ExchangeTally`]
+/// deltas around the `ExchangeCore` call. The deltas are a pure function of
+/// the exchange's private loss-coin stream, so every executor derives the
+/// identical event set regardless of which shard's ring receives it (the
+/// events carry no identity; the seq-sorted merge restores one total order).
+/// A delta of zero exchanges means the exchange never began (e.g. a joining
+/// initiator) and nothing is recorded.
+fn record_exchange_outcome(recorder: &mut FlightRecorder, seq: u64, began: bool, lost: usize) {
+    if !recorder.is_enabled() || !began {
+        return;
+    }
+    if lost == 0 {
+        recorder.record(seq, EventKind::ExchangeCompleted);
+    } else {
+        for _ in 0..lost {
+            recorder.record(seq, EventKind::MessageLost);
+        }
+    }
+}
+
 fn run_shard_worker(ctx: ShardWorker<'_>) {
     let ShardWorker {
         chunk_start,
@@ -1853,7 +2087,15 @@ fn run_shard_worker(ctx: ShardWorker<'_>) {
                         continue;
                     };
                     let mut lost = exchange_loss(loss, seed_of(ei));
+                    let exch_before = tally.exchanges;
+                    let lost_before = tally.messages_lost;
                     ExchangeCore::exchange(initiator, peer, &mut scratch, &mut lost, tally);
+                    record_exchange_outcome(
+                        &mut shard.recorder,
+                        u64::from(ei),
+                        tally.exchanges > exch_before,
+                        tally.messages_lost - lost_before,
+                    );
                 } else {
                     let Some(initiator) = shard.arena.node_at_slot_mut(initiator_slot) else {
                         continue;
@@ -1904,7 +2146,18 @@ fn run_shard_worker(ctx: ShardWorker<'_>) {
                 msg_buf.extend_from_slice(&cross.rest);
                 reply_buf.clear();
                 let mut lost = exchange_loss(loss, seed_of(cross.seq));
+                let lost_before = tally.messages_lost;
                 ExchangeCore::respond(peer, &msg_buf, &mut reply_buf, &mut lost, tally);
+                // Every loss draw of a cross-shard exchange happens inside
+                // `respond` (push coins, then reply coins); the initiator's
+                // `complete` draws none. `began` is unconditionally true —
+                // the push batch only exists because `begin` succeeded.
+                record_exchange_outcome(
+                    &mut shard.recorder,
+                    u64::from(cross.seq),
+                    true,
+                    tally.messages_lost - lost_before,
+                );
                 if !reply_buf.is_empty() {
                     let initiator_shard = IdLayout::shard_of(cross.initiator) as usize;
                     reply_out[initiator_shard].push(CrossReply {

@@ -1,0 +1,42 @@
+//! `trace` — read a JSONL flight-recorder dump and print a human summary.
+//!
+//! ```text
+//! trace summarize <path.jsonl>
+//! ```
+
+use std::process::ExitCode;
+
+use gossip_telemetry::trace::{from_jsonl, summarize};
+
+fn usage() -> ExitCode {
+    eprintln!("usage: trace summarize <path.jsonl>");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (command, path) = match args.as_slice() {
+        [command, path] => (command.as_str(), path.as_str()),
+        _ => return usage(),
+    };
+    if command != "summarize" {
+        return usage();
+    }
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(err) => {
+            eprintln!("trace: cannot read {path}: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match from_jsonl(&text) {
+        Ok(events) => {
+            print!("{}", summarize(&events));
+            ExitCode::SUCCESS
+        }
+        Err(err) => {
+            eprintln!("trace: {path}: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}

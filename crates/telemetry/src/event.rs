@@ -1,0 +1,295 @@
+//! The structured event schema shared by all four runtimes.
+//!
+//! One [`Event`] is a compact record of one protocol-visible occurrence —
+//! an exchange beginning or completing, a message lost, a node joining,
+//! an epoch restarting — stamped with the cycle it happened in, the
+//! injected-clock time and a sequence key. Every runtime
+//! (`GossipSimulation`, `ShardedSimulation`, `VirtualCluster`, the live
+//! `GossipRuntime`) emits this one schema, so traces from different
+//! engines can be read, merged and summarized by the same tools.
+//!
+//! ## Merge order
+//!
+//! Recording is distributed (per shard, per node), so a canonical trace is
+//! restored by sorting on [`Event::sort_key`]: `(cycle, phase, seq, rank,
+//! payload)`. The *phase* groups events within a cycle into cycle-start
+//! (churn, corruption), veto, exchange and cycle-end (epoch restarts,
+//! elections) bands; within the exchange band the global exchange sequence
+//! number `seq` — identical across shard and worker counts by the sharded
+//! engine's schedule construction — provides the total order, and the rank
+//! orders begun < lost < completed within one exchange. The result: the
+//! merged trace of a seeded run is byte-identical across repeats, worker
+//! counts and shard counts.
+
+/// Sentinel for "no node attached to this event".
+pub const NO_NODE: u64 = u64::MAX;
+
+/// What happened. Node fields carry whatever identifier the recording
+/// runtime uses consistently: global directory positions in the sharded
+/// engine (shard-count invariant), arena slots in the reference engine and
+/// `VirtualCluster`, raw `NodeId`s in the live runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A node joined the network.
+    NodeJoined {
+        /// Identifier of the joining node.
+        node: u64,
+    },
+    /// A node departed or crashed.
+    NodeDeparted {
+        /// Identifier of the departing node.
+        node: u64,
+    },
+    /// The fault lab or an adversary overwrote a node's state.
+    ValueCorrupted {
+        /// Identifier of the corrupted node.
+        node: u64,
+    },
+    /// A scheduled exchange was vetoed by a dead link before it started.
+    ExchangeVetoed {
+        /// Identifier of the initiating node.
+        initiator: u64,
+        /// Identifier of the unreachable peer.
+        peer: u64,
+    },
+    /// An exchange survived the veto pass and was scheduled; `seq` is its
+    /// global sequence number.
+    ExchangeBegun {
+        /// Identifier of the initiating node.
+        initiator: u64,
+        /// Identifier of the contacted peer.
+        peer: u64,
+    },
+    /// The loss model dropped one message of exchange `seq`.
+    MessageLost,
+    /// Every message of exchange `seq` survived and the initiator absorbed
+    /// the replies. (In the live runtime: the initiator received a reply
+    /// before its timeout.)
+    MessageDelivered,
+    /// Exchange `seq` completed loss-free end to end.
+    ExchangeCompleted,
+    /// The live runtime rejected an overlapping incoming exchange.
+    ExchangeRejected {
+        /// Identifier of the rejecting node.
+        node: u64,
+    },
+    /// An epoch completed and the protocol restarted into the next one.
+    EpochRestarted {
+        /// The epoch that just completed.
+        epoch: u64,
+    },
+    /// A node elected itself (or was promoted) leader of a counting
+    /// instance at an epoch boundary.
+    LeaderElected {
+        /// Identifier of the elected leader.
+        node: u64,
+    },
+}
+
+impl EventKind {
+    /// The within-cycle band this kind sorts into (see the module docs).
+    pub fn phase(&self) -> u8 {
+        match self {
+            EventKind::NodeJoined { .. }
+            | EventKind::NodeDeparted { .. }
+            | EventKind::ValueCorrupted { .. } => 0,
+            EventKind::ExchangeVetoed { .. } => 1,
+            EventKind::ExchangeBegun { .. }
+            | EventKind::MessageLost
+            | EventKind::MessageDelivered
+            | EventKind::ExchangeCompleted
+            | EventKind::ExchangeRejected { .. } => 2,
+            EventKind::EpochRestarted { .. } | EventKind::LeaderElected { .. } => 3,
+        }
+    }
+
+    /// Order of kinds sharing one `(cycle, phase, seq)` key.
+    pub fn rank(&self) -> u8 {
+        match self {
+            EventKind::NodeDeparted { .. } => 0,
+            EventKind::NodeJoined { .. } => 1,
+            EventKind::ValueCorrupted { .. } => 2,
+            EventKind::ExchangeVetoed { .. } => 0,
+            EventKind::ExchangeBegun { .. } => 0,
+            EventKind::MessageLost => 1,
+            EventKind::MessageDelivered => 2,
+            EventKind::ExchangeCompleted => 3,
+            EventKind::ExchangeRejected { .. } => 4,
+            EventKind::EpochRestarted { .. } => 0,
+            EventKind::LeaderElected { .. } => 1,
+        }
+    }
+
+    /// The wire name used in the JSONL export.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::NodeJoined { .. } => "node_joined",
+            EventKind::NodeDeparted { .. } => "node_departed",
+            EventKind::ValueCorrupted { .. } => "value_corrupted",
+            EventKind::ExchangeVetoed { .. } => "exchange_vetoed",
+            EventKind::ExchangeBegun { .. } => "exchange_begun",
+            EventKind::MessageLost => "message_lost",
+            EventKind::MessageDelivered => "message_delivered",
+            EventKind::ExchangeCompleted => "exchange_completed",
+            EventKind::ExchangeRejected { .. } => "exchange_rejected",
+            EventKind::EpochRestarted { .. } => "epoch_restarted",
+            EventKind::LeaderElected { .. } => "leader_elected",
+        }
+    }
+
+    /// The payload pair used as the sort-key tiebreaker.
+    fn payload(&self) -> (u64, u64) {
+        match *self {
+            EventKind::NodeJoined { node }
+            | EventKind::NodeDeparted { node }
+            | EventKind::ValueCorrupted { node }
+            | EventKind::ExchangeRejected { node }
+            | EventKind::LeaderElected { node } => (node, NO_NODE),
+            EventKind::ExchangeVetoed { initiator, peer }
+            | EventKind::ExchangeBegun { initiator, peer } => (initiator, peer),
+            EventKind::EpochRestarted { epoch } => (epoch, NO_NODE),
+            EventKind::MessageLost | EventKind::MessageDelivered | EventKind::ExchangeCompleted => {
+                (NO_NODE, NO_NODE)
+            }
+        }
+    }
+}
+
+/// One flight-recorder record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// The protocol cycle the event happened in.
+    pub cycle: u64,
+    /// Injected-clock timestamp in milliseconds (virtual time in the
+    /// simulators and `VirtualCluster`, wall time in the live runtime —
+    /// never read from a wall clock inside protocol crates).
+    pub time_ms: u64,
+    /// Sequence key within the cycle: the global exchange sequence number
+    /// for exchange-band events, a recorder-assigned ordinal otherwise.
+    pub seq: u64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+impl Event {
+    /// The canonical total-order key (see the module docs on merge order).
+    pub fn sort_key(&self) -> (u64, u8, u64, u8, u64, u64) {
+        let (a, b) = self.kind.payload();
+        (
+            self.cycle,
+            self.kind.phase(),
+            self.seq,
+            self.kind.rank(),
+            a,
+            b,
+        )
+    }
+}
+
+/// Merges per-shard / per-node event batches into the canonical trace
+/// order by sorting on [`Event::sort_key`]. The result is independent of
+/// how the events were distributed across recorders, which is what makes
+/// merged traces bit-identical across shard and worker counts.
+pub fn merge_events(batches: impl IntoIterator<Item = Vec<Event>>) -> Vec<Event> {
+    let mut merged: Vec<Event> = batches.into_iter().flatten().collect();
+    merged.sort_unstable_by_key(Event::sort_key);
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(cycle: u64, seq: u64, kind: EventKind) -> Event {
+        Event {
+            cycle,
+            time_ms: cycle * 10,
+            seq,
+            kind,
+        }
+    }
+
+    #[test]
+    fn phases_band_the_cycle() {
+        assert!(
+            EventKind::NodeDeparted { node: 1 }.phase()
+                < EventKind::ExchangeVetoed {
+                    initiator: 0,
+                    peer: 1
+                }
+                .phase()
+        );
+        assert!(
+            EventKind::ExchangeVetoed {
+                initiator: 0,
+                peer: 1
+            }
+            .phase()
+                < EventKind::ExchangeBegun {
+                    initiator: 0,
+                    peer: 1
+                }
+                .phase()
+        );
+        assert!(
+            EventKind::ExchangeCompleted.phase() < EventKind::EpochRestarted { epoch: 0 }.phase()
+        );
+    }
+
+    #[test]
+    fn merge_is_distribution_independent() {
+        let a = vec![
+            ev(
+                0,
+                0,
+                EventKind::ExchangeBegun {
+                    initiator: 3,
+                    peer: 9,
+                },
+            ),
+            ev(0, 0, EventKind::ExchangeCompleted),
+            ev(
+                1,
+                1,
+                EventKind::ExchangeBegun {
+                    initiator: 4,
+                    peer: 2,
+                },
+            ),
+        ];
+        let b = vec![
+            ev(0, 1, EventKind::MessageLost),
+            ev(
+                0,
+                1,
+                EventKind::ExchangeBegun {
+                    initiator: 7,
+                    peer: 1,
+                },
+            ),
+            ev(0, 0, EventKind::NodeDeparted { node: 5 }),
+        ];
+        let one_way = merge_events([a.clone(), b.clone()]);
+        let other_way = merge_events([b, a]);
+        assert_eq!(one_way, other_way);
+        // Cycle-start band sorts first; within the exchange band, seq then
+        // rank (begun before lost before completed).
+        assert_eq!(one_way[0].kind, EventKind::NodeDeparted { node: 5 });
+        assert_eq!(
+            one_way[1].kind,
+            EventKind::ExchangeBegun {
+                initiator: 3,
+                peer: 9
+            }
+        );
+        assert_eq!(one_way[2].kind, EventKind::ExchangeCompleted);
+        assert_eq!(
+            one_way[3].kind,
+            EventKind::ExchangeBegun {
+                initiator: 7,
+                peer: 1
+            }
+        );
+        assert_eq!(one_way[4].kind, EventKind::MessageLost);
+    }
+}

@@ -1,0 +1,260 @@
+//! A static registry of named counters, gauges and histograms.
+
+use std::fmt;
+
+use gossip_analysis::Histogram;
+
+/// Typed failure from [`MetricsRegistry`] registration or lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricError {
+    /// A metric with this name is already registered (names are unique
+    /// across all three metric kinds).
+    Duplicate(&'static str),
+    /// No metric with this name is registered.
+    Unknown(&'static str),
+    /// A metric with this name exists but is of a different kind.
+    KindMismatch(&'static str),
+    /// Histogram bounds were invalid (`lo >= hi` or zero bins).
+    InvalidHistogram(&'static str),
+}
+
+impl fmt::Display for MetricError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MetricError::Duplicate(name) => write!(f, "metric `{name}` is already registered"),
+            MetricError::Unknown(name) => write!(f, "metric `{name}` is not registered"),
+            MetricError::KindMismatch(name) => {
+                write!(f, "metric `{name}` is registered with a different kind")
+            }
+            MetricError::InvalidHistogram(name) => {
+                write!(f, "histogram `{name}` has invalid bounds or bin count")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MetricError {}
+
+/// Handle to a registered counter.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CounterId(usize);
+
+/// Handle to a registered gauge.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct GaugeId(usize);
+
+/// Handle to a registered histogram.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramId(usize);
+
+/// A registry of metrics keyed by `&'static str` names.
+///
+/// Registration hands back a typed id; updates go through the id, so the
+/// hot path is a bounds-checked vector index with no hashing. Names are
+/// unique across kinds, and all lookups return typed [`MetricError`]s
+/// instead of panicking.
+///
+/// Histograms reuse [`gossip_analysis::Histogram`] so their bucket
+/// semantics (uniform bins, underflow/overflow tracking, text rendering)
+/// match the analysis tables already used by the experiment runners.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: Vec<(&'static str, u64)>,
+    gauges: Vec<(&'static str, f64)>,
+    histograms: Vec<(&'static str, Histogram)>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn name_taken(&self, name: &'static str) -> bool {
+        self.counters.iter().any(|(n, _)| *n == name)
+            || self.gauges.iter().any(|(n, _)| *n == name)
+            || self.histograms.iter().any(|(n, _)| *n == name)
+    }
+
+    /// Registers a counter, initially 0.
+    pub fn counter(&mut self, name: &'static str) -> Result<CounterId, MetricError> {
+        if self.name_taken(name) {
+            return Err(MetricError::Duplicate(name));
+        }
+        self.counters.push((name, 0));
+        Ok(CounterId(self.counters.len() - 1))
+    }
+
+    /// Registers a gauge, initially 0.0.
+    pub fn gauge(&mut self, name: &'static str) -> Result<GaugeId, MetricError> {
+        if self.name_taken(name) {
+            return Err(MetricError::Duplicate(name));
+        }
+        self.gauges.push((name, 0.0));
+        Ok(GaugeId(self.gauges.len() - 1))
+    }
+
+    /// Registers a histogram over `[lo, hi)` with `bins` uniform buckets.
+    pub fn histogram(
+        &mut self,
+        name: &'static str,
+        lo: f64,
+        hi: f64,
+        bins: usize,
+    ) -> Result<HistogramId, MetricError> {
+        if self.name_taken(name) {
+            return Err(MetricError::Duplicate(name));
+        }
+        let histogram = Histogram::new(lo, hi, bins).ok_or(MetricError::InvalidHistogram(name))?;
+        self.histograms.push((name, histogram));
+        Ok(HistogramId(self.histograms.len() - 1))
+    }
+
+    /// Adds `delta` to a counter.
+    pub fn add(&mut self, id: CounterId, delta: u64) {
+        if let Some((_, value)) = self.counters.get_mut(id.0) {
+            *value += delta;
+        }
+    }
+
+    /// Increments a counter by one.
+    pub fn incr(&mut self, id: CounterId) {
+        self.add(id, 1);
+    }
+
+    /// Sets a gauge to `value`.
+    pub fn set(&mut self, id: GaugeId, value: f64) {
+        if let Some((_, gauge)) = self.gauges.get_mut(id.0) {
+            *gauge = value;
+        }
+    }
+
+    /// Records one sample into a histogram.
+    pub fn observe(&mut self, id: HistogramId, sample: f64) {
+        if let Some((_, histogram)) = self.histograms.get_mut(id.0) {
+            histogram.add(sample);
+        }
+    }
+
+    /// Reads a counter by name.
+    pub fn counter_value(&self, name: &'static str) -> Result<u64, MetricError> {
+        match self.counters.iter().find(|(n, _)| *n == name) {
+            Some((_, value)) => Ok(*value),
+            None if self.name_taken(name) => Err(MetricError::KindMismatch(name)),
+            None => Err(MetricError::Unknown(name)),
+        }
+    }
+
+    /// Reads a gauge by name.
+    pub fn gauge_value(&self, name: &'static str) -> Result<f64, MetricError> {
+        match self.gauges.iter().find(|(n, _)| *n == name) {
+            Some((_, value)) => Ok(*value),
+            None if self.name_taken(name) => Err(MetricError::KindMismatch(name)),
+            None => Err(MetricError::Unknown(name)),
+        }
+    }
+
+    /// Reads a histogram by name.
+    pub fn histogram_value(&self, name: &'static str) -> Result<&Histogram, MetricError> {
+        match self.histograms.iter().find(|(n, _)| *n == name) {
+            Some((_, histogram)) => Ok(histogram),
+            None if self.name_taken(name) => Err(MetricError::KindMismatch(name)),
+            None => Err(MetricError::Unknown(name)),
+        }
+    }
+
+    /// Renders every metric, sorted by name, one per line — counters as
+    /// `name = value`, gauges as `name = value` with the shortest exact
+    /// float form, histograms as their multi-line text rendering.
+    pub fn render(&self) -> String {
+        let mut lines: Vec<(&'static str, String)> = Vec::new();
+        for (name, value) in &self.counters {
+            lines.push((name, format!("{name} = {value}")));
+        }
+        for (name, value) in &self.gauges {
+            lines.push((name, format!("{name} = {value}")));
+        }
+        for (name, histogram) in &self.histograms {
+            lines.push((name, format!("{name}:\n{}", histogram.to_text())));
+        }
+        lines.sort_by_key(|(name, _)| *name);
+        let mut out = String::new();
+        for (_, line) in lines {
+            out.push_str(&line);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicate_names_are_rejected_across_kinds() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter("exchanges").unwrap();
+        assert_eq!(
+            reg.gauge("exchanges"),
+            Err(MetricError::Duplicate("exchanges"))
+        );
+        assert_eq!(
+            reg.histogram("exchanges", 0.0, 1.0, 4),
+            Err(MetricError::Duplicate("exchanges"))
+        );
+    }
+
+    #[test]
+    fn typed_lookups_distinguish_unknown_from_mismatch() {
+        let mut reg = MetricsRegistry::new();
+        let c = reg.counter("messages_lost").unwrap();
+        reg.add(c, 3);
+        reg.incr(c);
+        assert_eq!(reg.counter_value("messages_lost"), Ok(4));
+        assert_eq!(
+            reg.gauge_value("messages_lost"),
+            Err(MetricError::KindMismatch("messages_lost"))
+        );
+        assert_eq!(reg.counter_value("nope"), Err(MetricError::Unknown("nope")));
+    }
+
+    #[test]
+    fn invalid_histogram_bounds_are_typed() {
+        let mut reg = MetricsRegistry::new();
+        assert_eq!(
+            reg.histogram("bad", 1.0, 1.0, 4),
+            Err(MetricError::InvalidHistogram("bad"))
+        );
+        assert_eq!(
+            reg.histogram("bad", 0.0, 1.0, 0),
+            Err(MetricError::InvalidHistogram("bad"))
+        );
+    }
+
+    #[test]
+    fn render_is_sorted_by_name() {
+        let mut reg = MetricsRegistry::new();
+        let g = reg.gauge("variance").unwrap();
+        let c = reg.counter("exchanges").unwrap();
+        reg.set(g, 0.5);
+        reg.incr(c);
+        let text = reg.render();
+        let exchanges = text.find("exchanges = 1").unwrap_or(usize::MAX);
+        let variance = text.find("variance = 0.5").unwrap_or(usize::MAX);
+        assert!(exchanges < variance, "render not sorted: {text}");
+    }
+
+    #[test]
+    fn histogram_reuses_analysis_buckets() {
+        let mut reg = MetricsRegistry::new();
+        let h = reg.histogram("factor", 0.0, 1.0, 2).unwrap();
+        reg.observe(h, 0.25);
+        reg.observe(h, 0.75);
+        reg.observe(h, 2.0);
+        let hist = reg.histogram_value("factor").unwrap();
+        assert_eq!(hist.count(), 3);
+        assert_eq!(hist.bin_counts(), &[1, 1]);
+        assert_eq!(hist.overflow(), 1);
+    }
+}

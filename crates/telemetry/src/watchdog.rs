@@ -1,0 +1,313 @@
+//! Online convergence diagnosis from the per-cycle variance trajectory.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use gossip_analysis::OnlineStats;
+
+/// Tuning knobs for the [`ConvergenceWatchdog`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WatchdogConfig {
+    /// Sliding-window length (in cycles) over which the per-cycle
+    /// variance-reduction factor is averaged geometrically.
+    pub window: usize,
+    /// Factors above this (but at most 1) diagnose a stall: the protocol
+    /// is running yet variance is no longer contracting. The paper's
+    /// push–pull averaging contracts by ≈ 1/(2√e) ≈ 0.303 per cycle on a
+    /// complete overlay, so 0.9 leaves a wide safety margin.
+    pub stall_low: f64,
+    /// Factors above this diagnose divergence (variance is growing —
+    /// churn, corruption or an adversary is outrunning the averaging).
+    pub divergence: f64,
+    /// Variances at or below this floor count as converged; near machine
+    /// precision the factor hovers around 1 and would otherwise be
+    /// mis-diagnosed as a stall.
+    pub floor: f64,
+    /// Minimum observed cycles before any verdict other than
+    /// [`WatchdogVerdict::Insufficient`].
+    pub min_cycles: usize,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        WatchdogConfig {
+            window: 8,
+            stall_low: 0.9,
+            divergence: 1.05,
+            floor: 1e-24,
+            min_cycles: 4,
+        }
+    }
+}
+
+/// The watchdog's current diagnosis.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WatchdogVerdict {
+    /// Fewer than `min_cycles` variance observations so far.
+    Insufficient,
+    /// Variance reached the configured floor — the run is done.
+    Converged {
+        /// The variance that crossed the floor.
+        variance: f64,
+    },
+    /// Variance is contracting at a healthy per-cycle factor.
+    Converging {
+        /// Windowed geometric-mean variance-reduction factor.
+        factor: f64,
+    },
+    /// Variance stopped contracting (factor in `(stall_low, divergence]`).
+    Stalled {
+        /// Windowed geometric-mean variance-reduction factor.
+        factor: f64,
+        /// Cycle at which the stall was diagnosed.
+        cycle: u64,
+    },
+    /// Variance is growing (factor above `divergence`).
+    Diverging {
+        /// Windowed geometric-mean variance-reduction factor.
+        factor: f64,
+        /// Cycle at which divergence was diagnosed.
+        cycle: u64,
+    },
+}
+
+impl WatchdogVerdict {
+    /// Stable lowercase tag for logs and CI assertions.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            WatchdogVerdict::Insufficient => "insufficient",
+            WatchdogVerdict::Converged { .. } => "converged",
+            WatchdogVerdict::Converging { .. } => "converging",
+            WatchdogVerdict::Stalled { .. } => "stalled",
+            WatchdogVerdict::Diverging { .. } => "diverging",
+        }
+    }
+}
+
+impl fmt::Display for WatchdogVerdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WatchdogVerdict::Insufficient => write!(f, "insufficient data"),
+            WatchdogVerdict::Converged { variance } => {
+                write!(f, "converged (variance {variance:.3e})")
+            }
+            WatchdogVerdict::Converging { factor } => {
+                write!(f, "converging (factor {factor:.3})")
+            }
+            WatchdogVerdict::Stalled { factor, cycle } => {
+                write!(f, "stalled at cycle {cycle} (factor {factor:.3})")
+            }
+            WatchdogVerdict::Diverging { factor, cycle } => {
+                write!(f, "diverging at cycle {cycle} (factor {factor:.3})")
+            }
+        }
+    }
+}
+
+/// A verdict transition, logged when the diagnosis changes kind.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Diagnosis {
+    /// Cycle at which the verdict changed.
+    pub cycle: u64,
+    /// The new verdict.
+    pub verdict: WatchdogVerdict,
+}
+
+/// Watches the per-cycle variance trajectory and diagnoses stalls and
+/// divergence online.
+///
+/// Feed it one variance sample per cycle via
+/// [`observe`](ConvergenceWatchdog::observe). It maintains the per-cycle
+/// variance-reduction factor `var_t / var_{t-1}` over a sliding window,
+/// averaged geometrically (the factor is multiplicative), plus all-time
+/// [`OnlineStats`] of the factors for end-of-run summaries. Whenever the
+/// verdict changes kind the transition is appended to
+/// [`diagnoses`](ConvergenceWatchdog::diagnoses), which is what the CI
+/// smoke test asserts on.
+#[derive(Debug)]
+pub struct ConvergenceWatchdog {
+    config: WatchdogConfig,
+    window: VecDeque<f64>,
+    log_sum: f64,
+    prev_variance: Option<f64>,
+    cycles: usize,
+    cycle: u64,
+    factor_stats: OnlineStats,
+    verdict: WatchdogVerdict,
+    diagnoses: Vec<Diagnosis>,
+}
+
+impl ConvergenceWatchdog {
+    /// Creates a watchdog with the given thresholds.
+    pub fn new(config: WatchdogConfig) -> Self {
+        ConvergenceWatchdog {
+            config,
+            window: VecDeque::new(),
+            log_sum: 0.0,
+            prev_variance: None,
+            cycles: 0,
+            cycle: 0,
+            factor_stats: OnlineStats::new(),
+            verdict: WatchdogVerdict::Insufficient,
+            diagnoses: Vec::new(),
+        }
+    }
+
+    /// Feeds the end-of-cycle variance for `cycle` and returns the updated
+    /// verdict.
+    pub fn observe(&mut self, cycle: u64, variance: f64) -> WatchdogVerdict {
+        self.cycle = cycle;
+        self.cycles += 1;
+        if let Some(prev) = self.prev_variance {
+            // Guard the ratio: a zero/denormal previous variance would blow
+            // the factor up even though the run has simply finished.
+            if prev > self.config.floor {
+                let factor = variance / prev;
+                self.factor_stats.push(factor);
+                self.push_factor(factor);
+            }
+        }
+        self.prev_variance = Some(variance);
+        let next = self.classify(variance);
+        if std::mem::discriminant(&next) != std::mem::discriminant(&self.verdict) {
+            self.diagnoses.push(Diagnosis {
+                cycle,
+                verdict: next,
+            });
+        }
+        self.verdict = next;
+        next
+    }
+
+    fn push_factor(&mut self, factor: f64) {
+        // ln(max(factor, tiny)) keeps a literal-zero variance drop finite.
+        let clamped = factor.max(1e-300);
+        self.window.push_back(clamped);
+        self.log_sum += clamped.ln();
+        if self.window.len() > self.config.window {
+            if let Some(old) = self.window.pop_front() {
+                self.log_sum -= old.ln();
+            }
+        }
+    }
+
+    fn classify(&self, variance: f64) -> WatchdogVerdict {
+        if variance <= self.config.floor {
+            return WatchdogVerdict::Converged { variance };
+        }
+        if self.cycles < self.config.min_cycles || self.window.is_empty() {
+            return WatchdogVerdict::Insufficient;
+        }
+        let factor = (self.log_sum / self.window.len() as f64).exp();
+        if factor > self.config.divergence {
+            WatchdogVerdict::Diverging {
+                factor,
+                cycle: self.cycle,
+            }
+        } else if factor > self.config.stall_low {
+            WatchdogVerdict::Stalled {
+                factor,
+                cycle: self.cycle,
+            }
+        } else {
+            WatchdogVerdict::Converging { factor }
+        }
+    }
+
+    /// The current verdict.
+    pub fn verdict(&self) -> WatchdogVerdict {
+        self.verdict
+    }
+
+    /// All verdict-kind transitions observed so far, in cycle order.
+    pub fn diagnoses(&self) -> &[Diagnosis] {
+        &self.diagnoses
+    }
+
+    /// All-time statistics of the per-cycle variance-reduction factor.
+    pub fn factor_stats(&self) -> &OnlineStats {
+        &self.factor_stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn watchdog() -> ConvergenceWatchdog {
+        ConvergenceWatchdog::new(WatchdogConfig::default())
+    }
+
+    #[test]
+    fn healthy_decay_is_converging() {
+        let mut w = watchdog();
+        let mut var = 1.0;
+        let mut verdict = WatchdogVerdict::Insufficient;
+        for cycle in 0..12 {
+            verdict = w.observe(cycle, var);
+            var *= 0.303;
+        }
+        match verdict {
+            WatchdogVerdict::Converging { factor } => {
+                assert!((factor - 0.303).abs() < 1e-9, "factor {factor}");
+            }
+            other => panic!("expected converging, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn plateau_is_diagnosed_as_stall_once() {
+        let mut w = watchdog();
+        let mut var = 1.0;
+        for cycle in 0..6 {
+            w.observe(cycle, var);
+            var *= 0.303;
+        }
+        // Plateau: the factor climbs toward 1 as the window fills with 1.0s.
+        for cycle in 6..20 {
+            w.observe(cycle, var);
+        }
+        assert_eq!(w.verdict().tag(), "stalled");
+        let stalls: Vec<_> = w
+            .diagnoses()
+            .iter()
+            .filter(|d| d.verdict.tag() == "stalled")
+            .collect();
+        assert_eq!(
+            stalls.len(),
+            1,
+            "transitions logged once: {:?}",
+            w.diagnoses()
+        );
+    }
+
+    #[test]
+    fn growth_is_diagnosed_as_divergence() {
+        let mut w = watchdog();
+        let mut var = 1.0;
+        for cycle in 0..12 {
+            w.observe(cycle, var);
+            var *= 1.2;
+        }
+        assert_eq!(w.verdict().tag(), "diverging");
+    }
+
+    #[test]
+    fn floor_wins_over_stall_at_machine_precision() {
+        let mut w = watchdog();
+        for cycle in 0..10 {
+            w.observe(cycle, 1e-30);
+        }
+        match w.verdict() {
+            WatchdogVerdict::Converged { variance } => assert_eq!(variance, 1e-30),
+            other => panic!("expected converged, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn too_few_cycles_is_insufficient() {
+        let mut w = watchdog();
+        assert_eq!(w.observe(0, 1.0).tag(), "insufficient");
+        assert_eq!(w.observe(1, 0.3).tag(), "insufficient");
+    }
+}

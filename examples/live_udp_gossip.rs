@@ -5,29 +5,35 @@
 //! The simulator-grade knobs plug straight into the live runtime: pass
 //! `--sampler newscast` to run live NEWSCAST peer sampling instead of
 //! uniform-complete, and `--faults` to execute a small [`FaultPlan`] (10%
-//! dead links, 5% message loss) on the UDP path. The example asserts
-//! convergence before exiting, so it doubles as a smoke test:
+//! dead links, 5% message loss) on the UDP path. `--trace <path>` drains
+//! every node's flight recorder at shutdown and writes the merged event
+//! stream as JSONL for `trace summarize`. The example asserts convergence
+//! before exiting, so it doubles as a smoke test:
 //!
 //! ```text
-//! cargo run --release --example live_udp_gossip -- --faults --sampler newscast
+//! cargo run --release --example live_udp_gossip -- --faults --sampler newscast --trace run.jsonl
 //! ```
 
 use epidemic_aggregation::net::{GossipRuntime, NodeEnv, UdpTransport};
 use epidemic_aggregation::prelude::*;
+use epidemic_aggregation::telemetry::{merge_events, trace};
 use gossip_sim::SeedSequence;
 use std::net::SocketAddr;
+use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Duration;
 
 struct Options {
     faults: bool,
     sampler: SamplerConfig,
+    trace: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Options, String> {
     let mut options = Options {
         faults: false,
         sampler: SamplerConfig::UniformComplete,
+        trace: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -41,9 +47,14 @@ fn parse_args() -> Result<Options, String> {
                     other => return Err(format!("unknown sampler '{other}'")),
                 };
             }
+            "--trace" => {
+                let path = args.next().ok_or("--trace needs a file path")?;
+                options.trace = Some(PathBuf::from(path));
+            }
             other => {
                 return Err(format!(
-                    "unknown argument '{other}' (usage: live_udp_gossip [--faults] [--sampler uniform|newscast])"
+                    "unknown argument '{other}' (usage: live_udp_gossip [--faults] \
+                     [--sampler uniform|newscast] [--trace <path>])"
                 ))
             }
         }
@@ -134,11 +145,17 @@ fn run(options: &Options) -> Result<(), String> {
         .zip(loads.iter())
         .enumerate()
         .map(|(i, (transport, &load))| {
+            let telemetry = if options.trace.is_some() {
+                TelemetryConfig::trace()
+            } else {
+                TelemetryConfig::disabled()
+            };
             let env = NodeEnv::real(transport, seeds.seed_for_run(i as u64))
                 .with_sampler(options.sampler, &seeds)
                 .map_err(|e| e.to_string())?
                 .with_faults(plan.clone(), &seeds)
-                .map_err(|e| e.to_string())?;
+                .map_err(|e| e.to_string())?
+                .with_telemetry(telemetry);
             Ok(GossipRuntime::spawn_env(env, protocol, load))
         })
         .collect::<Result<_, String>>()?;
@@ -181,9 +198,34 @@ fn run(options: &Options) -> Result<(), String> {
         }
     }
 
+    // Each node publishes a periodic MetricsSnapshot through its handle; one
+    // final sample per node shows logical progress alongside the estimate.
+    println!();
+    for (i, runtime) in runtimes.iter().enumerate() {
+        let snap = runtime.handle().metrics_snapshot();
+        println!(
+            "node {i}: cycle {} epoch {} estimate {}",
+            snap.cycle,
+            snap.epoch,
+            snap.estimate
+                .map_or_else(|| "-".to_string(), |e| format!("{e:.3}")),
+        );
+    }
+
     let mut stats = RuntimeStats::default();
     for runtime in &runtimes {
         stats.merge(runtime.handle().stats());
+    }
+    if let Some(path) = &options.trace {
+        let events = merge_events(runtimes.iter().map(|r| r.handle().drain_trace()));
+        std::fs::write(path, trace::to_jsonl(&events))
+            .map_err(|e| format!("writing {}: {e}", path.display()))?;
+        println!(
+            "\nwrote {} trace events to {} (inspect with `cargo run -p gossip-telemetry --bin trace -- summarize {}`)",
+            events.len(),
+            path.display(),
+            path.display(),
+        );
     }
     for runtime in runtimes {
         runtime.shutdown();

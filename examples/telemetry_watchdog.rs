@@ -1,0 +1,201 @@
+//! CI telemetry smoke: a traced 10 000-node fault scenario whose convergence
+//! stall the watchdog must diagnose online.
+//!
+//! The run converges healthily for ten cycles, then an *unhealed* partition
+//! splits off 30% of the nodes. Each side keeps averaging internally, so the
+//! two sides settle on slightly different sample means and the **global**
+//! variance plateaus well above the convergence floor: the per-cycle
+//! variance-reduction factor climbs from the paper's ≈ 1/(2√e) toward 1, and
+//! the [`ConvergenceWatchdog`] flips its verdict from `converging` to
+//! `stalled`. The example asserts that exact diagnosis trajectory — a
+//! `converging` verdict before the split, a `stalled` verdict after — and
+//! exits nonzero otherwise, so a watchdog regression fails the pipeline.
+//!
+//! The flight recorder runs at full tracing throughout; the ring is drained
+//! every cycle (10k nodes emit ~20k events/cycle, more than one ring) and
+//! streamed to `--jsonl <path>` for the CI artifact:
+//!
+//! ```text
+//! cargo run --release --example telemetry_watchdog -- --jsonl target/watchdog_trace.jsonl
+//! ```
+
+use epidemic_aggregation::prelude::*;
+use epidemic_aggregation::telemetry::trace;
+use std::io::Write;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Options {
+    nodes: usize,
+    cycles: usize,
+    jsonl: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut options = Options {
+        nodes: 10_000,
+        cycles: 55,
+        jsonl: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--nodes" => {
+                let v = args.next().ok_or("--nodes needs a value")?;
+                options.nodes = v.parse().map_err(|e| format!("--nodes: {e}"))?;
+            }
+            "--cycles" => {
+                let v = args.next().ok_or("--cycles needs a value")?;
+                options.cycles = v.parse().map_err(|e| format!("--cycles: {e}"))?;
+            }
+            "--jsonl" => {
+                let v = args.next().ok_or("--jsonl needs a file path")?;
+                options.jsonl = Some(PathBuf::from(v));
+            }
+            other => {
+                return Err(format!(
+                    "unknown argument '{other}' (usage: telemetry_watchdog \
+                     [--nodes N] [--cycles N] [--jsonl <path>])"
+                ))
+            }
+        }
+    }
+    Ok(options)
+}
+
+fn main() -> ExitCode {
+    let options = match parse_args() {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&options) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("FAILED: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const SPLIT_AT_CYCLE: usize = 10;
+
+fn run(options: &Options) -> Result<(), String> {
+    let values: Vec<f64> = (0..options.nodes).map(|i| (i % 101) as f64).collect();
+    // One long epoch: an epoch restart would re-seed the aggregation and the
+    // variance jump would (correctly, but distractingly) read as divergence.
+    let protocol = ProtocolConfig::builder()
+        .cycles_per_epoch((options.cycles + 1) as u32)
+        .build()
+        .map_err(|e| e.to_string())?;
+    let plan = FaultPlan {
+        partitions: vec![PartitionWindow {
+            split_at_cycle: SPLIT_AT_CYCLE,
+            heal_at_cycle: usize::MAX,
+            minority_fraction: 0.3,
+        }],
+        ..FaultPlan::none()
+    };
+    let mut sim =
+        GossipSimulation::with_faults(SimulationConfig::averaging(protocol), &values, 4_242, plan)
+            .map_err(|e| e.to_string())?;
+    sim.set_telemetry(TelemetryConfig::full());
+
+    let mut jsonl = match &options.jsonl {
+        Some(path) => Some(
+            std::fs::File::create(path)
+                .map(std::io::BufWriter::new)
+                .map_err(|e| format!("creating {}: {e}", path.display()))?,
+        ),
+        None => None,
+    };
+
+    println!(
+        "tracing {} nodes for {} cycles; unhealed 30% partition at cycle {SPLIT_AT_CYCLE}",
+        options.nodes, options.cycles
+    );
+    let mut events_written: u64 = 0;
+    let mut saw_converging = false;
+    for _ in 0..options.cycles {
+        let summary = sim.run_cycle();
+        let verdict = sim
+            .watchdog_verdict()
+            .ok_or("watchdog must be armed under TelemetryConfig::full()")?;
+        if verdict.tag() == "converging" {
+            saw_converging = true;
+        }
+        println!(
+            "cycle {:>3}  variance {:>12.6e}  verdict: {verdict}",
+            summary.cycle, summary.estimate_variance
+        );
+        // Drain every cycle: the ring holds one cycle comfortably, the whole
+        // run does not. Batches are cycle-ordered, so appending them keeps
+        // the file in canonical merge order.
+        let batch = sim.drain_trace();
+        events_written += batch.len() as u64;
+        if let Some(writer) = jsonl.as_mut() {
+            writer
+                .write_all(trace::to_jsonl(&batch).as_bytes())
+                .map_err(|e| e.to_string())?;
+        }
+    }
+    if let Some(mut writer) = jsonl.take() {
+        writer.flush().map_err(|e| e.to_string())?;
+    }
+
+    println!();
+    println!(
+        "{events_written} events recorded ({} dropped)",
+        sim.dropped_trace_events()
+    );
+    for diagnosis in sim.watchdog_diagnoses() {
+        println!(
+            "diagnosis at cycle {:>3}: {}",
+            diagnosis.cycle, diagnosis.verdict
+        );
+    }
+    if let Some(path) = &options.jsonl {
+        println!("trace written to {}", path.display());
+    }
+
+    // The assertions CI rides on: healthy convergence first, the stall
+    // diagnosed after the split, and no event silently dropped.
+    if sim.dropped_trace_events() != 0 {
+        return Err(format!(
+            "{} events dropped — per-cycle draining must keep the ring bounded",
+            sim.dropped_trace_events()
+        ));
+    }
+    if !saw_converging {
+        return Err("watchdog never diagnosed the healthy phase as converging".to_string());
+    }
+    let final_verdict = sim
+        .watchdog_verdict()
+        .ok_or("watchdog must be armed under TelemetryConfig::full()")?;
+    if final_verdict.tag() != "stalled" {
+        return Err(format!(
+            "expected a stalled verdict after the unhealed partition, got: {final_verdict}"
+        ));
+    }
+    let stall = sim
+        .watchdog_diagnoses()
+        .iter()
+        .find(|d| d.verdict.tag() == "stalled")
+        .ok_or("no stall transition was logged")?;
+    if (stall.cycle as usize) < SPLIT_AT_CYCLE {
+        return Err(format!(
+            "stall diagnosed at cycle {} — before the partition at {SPLIT_AT_CYCLE}",
+            stall.cycle
+        ));
+    }
+    if events_written == 0 {
+        return Err("no events were recorded".to_string());
+    }
+    println!(
+        "\nwatchdog correctly diagnosed the partition stall at cycle {} (verdict: {final_verdict})",
+        stall.cycle
+    );
+    Ok(())
+}

@@ -51,6 +51,7 @@ pub use gossip_analysis as analysis;
 pub use gossip_faults as faults;
 pub use gossip_net as net;
 pub use gossip_sim as sim;
+pub use gossip_telemetry as telemetry;
 pub use overlay_topology as topology;
 pub use peer_sampling as membership;
 
@@ -84,6 +85,10 @@ pub mod prelude {
         MergePolicy, NetworkConditions, RedundancyConfig, ReportError, RobustnessPoint,
         RobustnessSweep, ShardedConfig, ShardedSimulation, SimConfigError, SimError,
         SimulationConfig, ValueDistribution, WakeupDistribution,
+    };
+    pub use gossip_telemetry::{
+        ConvergenceWatchdog, Diagnosis, Event, EventKind, FlightRecorder, MetricsRegistry,
+        TelemetryConfig, TelemetrySink, WatchdogVerdict,
     };
     pub use overlay_topology::{
         generators, CompleteTopology, Graph, NodeId, Topology, TopologyBuilder, TopologyKind,

@@ -952,3 +952,112 @@ fn variance_experiments_are_reproducible() {
     assert_eq!(a.mean.to_bits(), b.mean.to_bits());
     assert_eq!(a.std_dev.to_bits(), b.std_dev.to_bits());
 }
+
+/// Telemetry tentpole pin, part 1: enabling the full flight recorder +
+/// watchdog changes not a single protocol bit. The traced sharded run must
+/// reproduce the untraced estimates exactly, at every shard count and on
+/// every executor (sequential SoA, threaded round/mailbox) — and the merged
+/// JSONL trace must itself be **byte-identical** across shard and worker
+/// counts, because every event is keyed by shard-count-invariant global
+/// directory positions or global sequence numbers and merged through the
+/// distribution-independent sort in `merge_events`.
+fn traced_sharded_run(seed: u64, shards: usize, workers: Option<usize>) -> (Vec<u64>, String) {
+    let values: Vec<f64> = (0..300).map(|i| (i % 37) as f64).collect();
+    let protocol = ProtocolConfig::builder()
+        .cycles_per_epoch(8)
+        .build()
+        .unwrap();
+    let config = ShardedConfig {
+        base: SimulationConfig {
+            protocol,
+            conditions: NetworkConditions::with_message_loss(0.1),
+            leader_policy: None,
+            sampler: SamplerConfig::UniformComplete,
+            redundancy: None,
+        },
+        shards,
+        workers,
+    };
+    let mut sim = ShardedSimulation::new(config, &values, seed).unwrap();
+    sim.set_telemetry(TelemetryConfig::full());
+    for cycle in 0..30 {
+        for i in 0..5 {
+            sim.add_node((cycle * 5 + i) as f64);
+        }
+        sim.remove_random_nodes(5);
+        sim.run_cycle();
+    }
+    assert_eq!(
+        sim.dropped_trace_events(),
+        0,
+        "ring overflowed; raise capacity"
+    );
+    let bits = sim.estimates().iter().map(|v| v.to_bits()).collect();
+    let trace = epidemic_aggregation::telemetry::trace::to_jsonl(&sim.drain_trace());
+    (bits, trace)
+}
+
+#[test]
+fn tracing_leaves_sharded_estimates_bit_identical_across_shards_and_workers() {
+    let untraced = sharded_summaries(2024, 1, None, 0.1).1;
+    let (reference_bits, reference_trace) = traced_sharded_run(2024, 1, None);
+    assert_eq!(
+        reference_bits, untraced,
+        "enabling full tracing changed the node estimates"
+    );
+    assert!(!reference_trace.is_empty());
+    for (shards, workers) in [(2, None), (4, Some(1)), (4, Some(3)), (8, Some(4))] {
+        let (bits, trace) = traced_sharded_run(2024, shards, workers);
+        assert_eq!(
+            bits, reference_bits,
+            "{shards}-shard/{workers:?}-worker traced estimates drifted"
+        );
+        assert_eq!(
+            trace, reference_trace,
+            "merged trace must be byte-identical at {shards} shards / {workers:?} workers"
+        );
+    }
+}
+
+/// Telemetry tentpole pin, part 2: two same-seed traced runs emit
+/// byte-identical merged JSONL — the flight recorder consumes no randomness
+/// and stamps virtual (never wall-clock) time.
+#[test]
+fn same_seed_traced_runs_produce_byte_identical_jsonl() {
+    let (_, a) = traced_sharded_run(7, 4, Some(4));
+    let (_, b) = traced_sharded_run(7, 4, Some(4));
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "same-seed traces must be byte-identical");
+}
+
+/// Telemetry tentpole pin, part 3: the reference engine and the lockstep
+/// wire cluster both reproduce the golden seed-77 trajectory with full
+/// tracing enabled, and their watchdogs reach a verdict on the converged run.
+#[test]
+fn tracing_leaves_reference_engine_and_wire_cluster_goldens_bit_identical() {
+    let values: Vec<f64> = (0..400).map(|i| (i % 53) as f64).collect();
+    let protocol = || {
+        ProtocolConfig::builder()
+            .cycles_per_epoch(10)
+            .build()
+            .unwrap()
+    };
+
+    let mut sim = GossipSimulation::new(SimulationConfig::averaging(protocol()), &values, 77);
+    sim.set_telemetry(TelemetryConfig::full());
+    let last = sim.run(25).pop().unwrap();
+    assert_eq!(last.estimate_mean.to_bits(), 0x4039_2147_ae14_7adf);
+    assert_eq!(last.estimate_variance.to_bits(), 0x3fe0_b58d_981d_4c54);
+    let engine_events = sim.drain_trace();
+    assert!(!engine_events.is_empty());
+    assert!(sim.watchdog_verdict().is_some());
+
+    let mut cluster =
+        VirtualCluster::new(SimulationConfig::averaging(protocol()), &values, 77).unwrap();
+    cluster.set_telemetry(TelemetryConfig::full());
+    let last = cluster.run(25).pop().unwrap();
+    assert_eq!(last.estimate_mean.to_bits(), 0x4039_2147_ae14_7adf);
+    assert_eq!(last.estimate_variance.to_bits(), 0x3fe0_b58d_981d_4c54);
+    assert!(!cluster.drain_trace().is_empty());
+    assert!(cluster.watchdog_verdict().is_some());
+}
